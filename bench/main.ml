@@ -1,0 +1,537 @@
+(* Benchmark & experiment harness.
+
+   The paper (PODS'85/JCSS'86) is a theory paper with no measured tables;
+   EXPERIMENTS.md defines experiments E1-E11 that operationalize its
+   figures, theorems and complexity claims.  This executable regenerates
+   every series:
+
+   - agreement tables (polynomial algorithms vs exhaustive ground truth);
+   - Bechamel micro-benchmarks for the polynomial kernels (Theorem 3,
+     the O(n³) minimal-prefix ablation, Corollary 3, reduction graphs,
+     DPLL, the Theorem-2 gadget construction);
+   - wall-clock macro series for Theorem 4 (interaction-graph cycles),
+     the exponential exhaustive searches, and the simulator.
+
+   Run with:  dune exec bench/main.exe                 (everything)
+              dune exec bench/main.exe -- SECTION...   (a subset)
+   Sections: agreement micro theorem4 exhaustive sim crossover recovery sm geometry rw
+*)
+
+open Bechamel
+open Toolkit
+open Ddlock
+module System = Model.System
+module Transaction = Model.Transaction
+
+let rng seed = Random.State.make [| seed; 0xbe7c4 |]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let benchmark_and_print tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      let est =
+        match Analyze.OLS.estimates v with
+        | Some [ e ] -> e
+        | _ -> Float.nan
+      in
+      let unit, scale =
+        if est > 1e9 then ("s ", 1e9)
+        else if est > 1e6 then ("ms", 1e6)
+        else if est > 1e3 then ("us", 1e3)
+        else ("ns", 1.0)
+      in
+      Format.printf "  %-42s %10.2f %s/run%s@." name (est /. scale) unit
+        (match Analyze.OLS.r_square v with
+        | Some r when r < 0.9 -> Printf.sprintf "   (r²=%.2f)" r
+        | _ -> ""))
+    (List.sort compare rows)
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, (Sys.time () -. t0) *. 1000.0)
+
+let header title = Format.printf "@.== %s ==@." title
+
+(* ------------------------------------------------------------------ *)
+(* Agreement tables (E5-E10 correctness side)                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_pair st =
+  let sites = 1 + Random.State.int st 3 in
+  let entities = 2 + Random.State.int st 3 in
+  let db = Workload.Gentx.random_db ~sites ~entities in
+  let density = Random.State.float st 0.5 in
+  let mk () =
+    Workload.Gentx.random_transaction st db
+      ~entities:
+        (Workload.Gentx.random_entity_subset st db
+           ~k:(1 + Random.State.int st entities))
+      ~density
+  in
+  System.create [ mk (); mk () ]
+
+let agreement () =
+  header "E6/E7/E8 agreement: pair deciders vs exhaustive (500 random pairs)";
+  let st = rng 1 in
+  let n = 500 in
+  let agree_t3 = ref 0 and agree_mp = ref 0 and positives = ref 0 in
+  for _ = 1 to n do
+    let sys = random_pair st in
+    let t1 = System.txn sys 0 and t2 = System.txn sys 1 in
+    let exh = Result.is_ok (Sched.Explore.safe_and_deadlock_free sys) in
+    if exh then incr positives;
+    if Safety.Pair.safe_and_deadlock_free t1 t2 = exh then incr agree_t3;
+    if Safety.Minimal_prefix.safe_and_deadlock_free t1 t2 = exh then
+      incr agree_mp
+  done;
+  Format.printf "  %-36s %4d/%d@." "Theorem 3 = exhaustive" !agree_t3 n;
+  Format.printf "  %-36s %4d/%d@." "minimal-prefix = exhaustive" !agree_mp n;
+  Format.printf "  %-36s %4d/%d@." "safe&DF systems in sample" !positives n;
+
+  header "E10 agreement: Theorem 4 vs exhaustive (200 random 3-txn systems)";
+  let st = rng 2 in
+  let n = 200 in
+  let agree = ref 0 in
+  for _ = 1 to n do
+    let sites = 1 + Random.State.int st 2 in
+    let entities = 2 + Random.State.int st 2 in
+    let db = Workload.Gentx.random_db ~sites ~entities in
+    let density = Random.State.float st 0.5 in
+    let sys =
+      System.create
+        (List.init 3 (fun _ ->
+             Workload.Gentx.random_transaction st db
+               ~entities:
+                 (Workload.Gentx.random_entity_subset st db
+                    ~k:(1 + Random.State.int st entities))
+               ~density))
+    in
+    if
+      Safety.Many.safe_and_deadlock_free sys
+      = Result.is_ok (Sched.Explore.safe_and_deadlock_free sys)
+    then incr agree
+  done;
+  Format.printf "  %-36s %4d/%d@." "Theorem 4 = exhaustive" !agree n;
+
+  header "E1 agreement: Theorem 1 (deadlock ⇔ deadlock prefix, 200 pairs)";
+  let st = rng 3 in
+  let n = 200 in
+  let agree = ref 0 and deadlocking = ref 0 in
+  for _ = 1 to n do
+    let sys = random_pair st in
+    let a, b = Deadlock.Theorem1.verdicts sys in
+    if a = b then incr agree;
+    if not a then incr deadlocking
+  done;
+  Format.printf "  %-36s %4d/%d@." "schedule-search = prefix-search" !agree n;
+  Format.printf "  %-36s %4d/%d@." "deadlocking systems in sample" !deadlocking
+    n;
+
+  header "E4 agreement: Theorem 2 reduction vs DPLL (100 random 3SAT')";
+  let st = rng 4 in
+  let n = 100 in
+  let ok = ref 0 and sat = ref 0 in
+  for _ = 1 to n do
+    let f = Conp.Gen3sat.generate st ~n_vars:(3 + Random.State.int st 5) in
+    match Conp.Dpll.solve f with
+    | None -> incr ok (* nothing to verify constructively *)
+    | Some model -> (
+        incr sat;
+        let r = Conp.Reduction_sat.build f in
+        match Conp.Reduction_sat.deadlock_witness r model with
+        | Some (_, cycle)
+          when Conp.Formula.satisfies
+                 (Conp.Reduction_sat.assignment_of_cycle r cycle)
+                 f ->
+            incr ok
+        | _ -> ())
+  done;
+  Format.printf "  %-36s %4d/%d@." "model ⇒ deadlock prefix ⇒ model" !ok n;
+  Format.printf "  %-36s %4d/%d@." "satisfiable in sample" !sat n
+
+(* ------------------------------------------------------------------ *)
+(* Micro benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "E7 Theorem 3 pair test — O(n²) scaling (n = entities)";
+  let tests =
+    List.map
+      (fun n ->
+        let t1, t2 = Workload.Gentx.chain_pair n in
+        Test.make
+          ~name:(Printf.sprintf "pair/theorem3/n=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Safety.Pair.safe_and_deadlock_free t1 t2))))
+      [ 32; 64; 128; 256 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"theorem3" tests);
+
+  header "E8 ablation: O(n³) minimal-prefix algorithm on the same inputs";
+  let tests =
+    List.map
+      (fun n ->
+        let t1, t2 = Workload.Gentx.chain_pair n in
+        Test.make
+          ~name:(Printf.sprintf "pair/minimal-prefix/n=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Safety.Minimal_prefix.safe_and_deadlock_free t1 t2))))
+      [ 32; 64; 128 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"minimal-prefix" tests);
+
+  header "E9 Corollary 3 copies test";
+  let tests =
+    List.map
+      (fun n ->
+        let t = Workload.Gentx.guard_ring n in
+        Test.make
+          ~name:(Printf.sprintf "copies/corollary3/k=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Safety.Copies.safe_and_deadlock_free t))))
+      [ 32; 128; 512 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"copies" tests);
+
+  header "E1 reduction-graph construction + cycle check (k-ring, 3 copies)";
+  let tests =
+    List.map
+      (fun k ->
+        let t = Workload.Gentx.guard_ring k in
+        let sys = System.copies t 3 in
+        (* Prefix: copy i holds entity i. *)
+        let p = Sched.State.initial sys in
+        for i = 0 to 2 do
+          Ddlock_graph.Bitset.set p.(i) (Transaction.lock_node_exn t i)
+        done;
+        Test.make
+          ~name:(Printf.sprintf "reduction-graph/k=%d" k)
+          (Staged.stage (fun () ->
+               ignore
+                 (Deadlock.Reduction.has_cycle (Deadlock.Reduction.make sys p)))))
+      [ 8; 32; 128 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"reduction" tests);
+
+  header "E4 DPLL and Theorem-2 gadget construction (random 3SAT', n vars)";
+  let st = rng 5 in
+  let dpll_tests =
+    List.map
+      (fun n ->
+        let f = Conp.Gen3sat.generate st ~n_vars:n in
+        Test.make
+          ~name:(Printf.sprintf "dpll/n=%d" n)
+          (Staged.stage (fun () -> ignore (Conp.Dpll.satisfiable f))))
+      [ 10; 20; 40 ]
+  in
+  let build_tests =
+    List.map
+      (fun n ->
+        let f = Conp.Gen3sat.generate st ~n_vars:n in
+        Test.make
+          ~name:(Printf.sprintf "reduction-build/n=%d" n)
+          (Staged.stage (fun () -> ignore (Conp.Reduction_sat.build f))))
+      [ 5; 10; 20 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"conp" (dpll_tests @ build_tests));
+
+  header "substrate: transitive closure (random DAG, n nodes)";
+  let st = rng 6 in
+  let tests =
+    List.map
+      (fun n ->
+        let edges = ref [] in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if Random.State.float st 1.0 < 0.05 then edges := (u, v) :: !edges
+          done
+        done;
+        let g = Ddlock_graph.Digraph.create n !edges in
+        Test.make
+          ~name:(Printf.sprintf "closure/n=%d" n)
+          (Staged.stage (fun () -> ignore (Ddlock_graph.Closure.closure g))))
+      [ 64; 256; 1024 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"closure" tests)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4 macro series                                              *)
+(* ------------------------------------------------------------------ *)
+
+let theorem4 () =
+  header "E10 Theorem 4 vs interaction-graph cycles (philosopher rings)";
+  Format.printf "  %-10s %-12s %-12s %-12s@." "k" "candidates" "verdict"
+    "time (ms)";
+  List.iter
+    (fun k ->
+      let sys = Workload.Gentx.dining_philosophers k in
+      let candidates = Safety.Many.candidate_count sys in
+      let verdict, ms =
+        wall (fun () -> Safety.Many.safe_and_deadlock_free sys)
+      in
+      Format.printf "  %-10d %-12d %-12s %-12.2f@." k candidates
+        (if verdict then "safe&DF" else "violation")
+        ms)
+    [ 3; 4; 5; 6; 8; 10; 12 ];
+
+  Format.printf
+    "@.  dense interaction graphs (philosophers + one hot transaction):@.";
+  Format.printf "  %-10s %-12s %-12s@." "k" "cycles" "time (ms)";
+  List.iter
+    (fun k ->
+      let base = Workload.Gentx.dining_philosophers k in
+      let db = System.db base in
+      let all_forks = List.init k (fun i -> "f" ^ string_of_int i) in
+      let hot = Model.Builder.two_phase_chain db all_forks in
+      let sys = System.create (Array.to_list (System.txns base) @ [ hot ]) in
+      let cycles =
+        Seq.length (Ddlock_graph.Ungraph.cycles (System.interaction_graph sys))
+      in
+      let _, ms = wall (fun () -> Safety.Many.safe_and_deadlock_free sys) in
+      Format.printf "  %-10d %-12d %-12.2f@." k cycles ms)
+    [ 3; 4; 5; 6; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive-search scaling (the coNP-hardness shape)                 *)
+(* ------------------------------------------------------------------ *)
+
+let exhaustive () =
+  header "E2/E4 exhaustive search blow-up (reachable states)";
+  Format.printf "  %-26s %-12s %-12s@." "system" "states" "time (ms)";
+  List.iter
+    (fun k ->
+      let sys = Workload.Gentx.dining_philosophers k in
+      let sp, ms = wall (fun () -> Sched.Explore.explore sys) in
+      Format.printf "  %-26s %-12d %-12.2f@."
+        (Printf.sprintf "philosophers k=%d" k)
+        (Sched.Explore.state_count sp)
+        ms)
+    [ 2; 3; 4; 5; 6 ];
+  List.iter
+    (fun k ->
+      let t = Workload.Gentx.guard_ring k in
+      let sys = System.copies t 2 in
+      let sp, ms = wall (fun () -> Sched.Explore.explore sys) in
+      Format.printf "  %-26s %-12d %-12.2f@."
+        (Printf.sprintf "2 copies of %d-ring" k)
+        (Sched.Explore.state_count sp)
+        ms)
+    [ 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Crossover: polynomial vs exhaustive on the same instances           *)
+(* ------------------------------------------------------------------ *)
+
+let crossover () =
+  header "E7 crossover: Theorem 3 vs exhaustive on growing chain pairs";
+  Format.printf "  %-8s %-16s %-16s@." "n" "theorem3 (ms)" "exhaustive (ms)";
+  List.iter
+    (fun n ->
+      let t1, t2 = Workload.Gentx.chain_pair n in
+      let sys = System.create [ t1; t2 ] in
+      let _, fast =
+        wall (fun () -> Safety.Pair.safe_and_deadlock_free t1 t2)
+      in
+      let _, slow = wall (fun () -> Sched.Explore.safe_and_deadlock_free sys) in
+      Format.printf "  %-8d %-16.3f %-16.3f@." n fast slow)
+    [ 2; 3; 4; 5; 6; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sim () =
+  header "E11 simulator: certified vs deadlocking workloads (200 runs each)";
+  Format.printf "  %-26s %-12s %-16s %-12s@." "workload" "deadlocks"
+    "non-serializable" "time (ms)";
+  let bench name sys =
+    let st = rng 7 in
+    let stats, ms = wall (fun () -> Sim.Runtime.batch st sys ~runs:200) in
+    Format.printf "  %-26s %-12d %-16d %-12.2f@." name
+      stats.Sim.Runtime.deadlocks stats.Sim.Runtime.non_serializable ms
+  in
+  let db = Model.Db.one_site_per_entity [ "a"; "b"; "c"; "d" ] in
+  let ordered =
+    System.create
+      (List.init 4 (fun _ ->
+           Model.Builder.two_phase_chain db [ "a"; "b"; "c"; "d" ]))
+  in
+  bench "ordered 2PL x4 (safe&DF)" ordered;
+  bench "philosophers k=5" (Workload.Gentx.dining_philosophers 5);
+  bench "3 copies of 3-ring" (System.copies (Workload.Gentx.guard_ring 3) 3);
+  bench "2 copies of 4-ring (Fig2)" (System.copies (Workload.Gentx.guard_ring 4) 2)
+
+(* ------------------------------------------------------------------ *)
+(* [SM] fixed transactions + fixed sites: polynomial exhaustive method *)
+(* ------------------------------------------------------------------ *)
+
+let sm_fixed () =
+  header
+    "E15 [SM]: exhaustive deadlock test is polynomial for fixed (txns, sites)";
+  Format.printf
+    "  2 transactions over s sites, n entities each (states ~ n^(2s)):@.";
+  Format.printf "  %-8s %-8s %-12s %-12s %-10s@." "s" "n" "states" "time (ms)"
+    "growth";
+  let prev = ref 0.0 in
+  List.iter
+    (fun (s, n) ->
+      let db = Workload.Gentx.random_db ~sites:s ~entities:n in
+      let st = rng 9 in
+      let all = List.init n Fun.id in
+      let mk () =
+        Workload.Gentx.random_transaction st db ~entities:all ~density:0.0
+      in
+      let sys = System.create [ mk (); mk () ] in
+      let sp, ms = wall (fun () -> Sched.Explore.explore sys) in
+      let states = float_of_int (Sched.Explore.state_count sp) in
+      Format.printf "  %-8d %-8d %-12.0f %-12.2f %-10s@." s n states ms
+        (if !prev > 0.0 then Printf.sprintf "%.1fx" (states /. !prev) else "-");
+      prev := states)
+    [ (1, 4); (1, 8); (1, 16); (2, 4); (2, 8); (2, 16); (3, 6); (3, 12) ]
+
+(* ------------------------------------------------------------------ *)
+(* Geometry ([LP]/[SW]) micro benchmarks                               *)
+(* ------------------------------------------------------------------ *)
+
+let geometry () =
+  header "E16 geometric deciders for centralized pairs ([LP]/[SW])";
+  let centralized_chain_pair n =
+    let db =
+      Model.Db.single_site (List.init n (fun i -> "e" ^ string_of_int i))
+    in
+    let names = List.init n (fun i -> "e" ^ string_of_int i) in
+    ( Model.Builder.two_phase_chain db names,
+      Model.Builder.two_phase_chain db (List.rev names) )
+  in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let t1, t2 = centralized_chain_pair n in
+        [
+          Test.make
+            ~name:(Printf.sprintf "geometry/deadlock/n=%d" n)
+            (Staged.stage (fun () -> ignore (Safety.Geometry.deadlock_free t1 t2)));
+          Test.make
+            ~name:(Printf.sprintf "geometry/safe/n=%d" n)
+            (Staged.stage (fun () -> ignore (Safety.Geometry.safe t1 t2)));
+        ])
+      [ 16; 32; 64 ]
+  in
+  benchmark_and_print (Test.make_grouped ~name:"geometry" tests)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery schemes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let recovery () =
+  header
+    "E12 runtime deadlock handling: wound-wait / wait-die / detect (RSL'78)";
+  Format.printf "  %-26s %-12s %-10s %-10s %-12s@." "workload" "scheme"
+    "aborts" "timeouts" "makespan";
+  let schemes =
+    [
+      ("wait-die", Sim.Recovery.Wait_die);
+      ("wound-wait", Sim.Recovery.Wound_wait);
+      ("detect(5)", Sim.Recovery.Detect { period = 5.0 });
+    ]
+  in
+  let bench name sys =
+    List.iter
+      (fun (sname, scheme) ->
+        let st = rng 8 in
+        let stats = Sim.Recovery.batch ~scheme st sys ~runs:100 in
+        Format.printf "  %-26s %-12s %-10d %-10d %-12.2f@." name sname
+          stats.Sim.Recovery.total_aborts stats.Sim.Recovery.timeouts
+          stats.Sim.Recovery.mean_makespan)
+      schemes
+  in
+  bench "philosophers k=5" (Workload.Gentx.dining_philosophers 5);
+  bench "3 copies of 3-ring" (System.copies (Workload.Gentx.guard_ring 3) 3);
+  let db = Model.Db.one_site_per_entity [ "a"; "b"; "c"; "d" ] in
+  bench "ordered 2PL x4 (safe&DF)"
+    (System.create
+       (List.init 4 (fun _ ->
+            Model.Builder.two_phase_chain db [ "a"; "b"; "c"; "d" ])))
+
+(* ------------------------------------------------------------------ *)
+(* Read/write modes: readers-share speedup                             *)
+(* ------------------------------------------------------------------ *)
+
+let rw_modes () =
+  header "E17 read/write modes: catalog-reader workload, rw vs exclusive";
+  Format.printf "  %-6s %-18s %-18s %-10s@." "k" "exclusive makespan"
+    "rw makespan" "speedup";
+  List.iter
+    (fun k ->
+      let names = "catalog" :: List.init k (fun i -> "row" ^ string_of_int i) in
+      let db = Model.Db.one_site_per_entity names in
+      let catalog = Model.Db.find_entity_exn db "catalog" in
+      let mk i =
+        let row = Model.Db.find_entity_exn db ("row" ^ string_of_int i) in
+        match
+          Rw.Rw_txn.of_total_order db
+            [
+              { Rw.Rw_txn.entity = catalog; op = Rw.Rw_txn.Lock Rw.Rw_txn.Read };
+              { Rw.Rw_txn.entity = row; op = Rw.Rw_txn.Lock Rw.Rw_txn.Write };
+              { Rw.Rw_txn.entity = catalog; op = Rw.Rw_txn.Unlock };
+              { Rw.Rw_txn.entity = row; op = Rw.Rw_txn.Unlock };
+            ]
+        with
+        | Ok t -> t
+        | Error _ -> assert false
+      in
+      let rw_sys = Rw.Rw_system.create (List.init k mk) in
+      let excl_sys = Rw.Rw_system.to_exclusive rw_sys in
+      let st = rng 10 in
+      let excl = Sim.Runtime.batch st excl_sys ~runs:100 in
+      let st = rng 10 in
+      let rwb = Rw.Rw_runtime.batch st rw_sys ~runs:100 in
+      Format.printf "  %-6d %-18.2f %-18.2f %-10.2fx@." k
+        excl.Sim.Runtime.mean_makespan rwb.Rw.Rw_runtime.mean_makespan
+        (excl.Sim.Runtime.mean_makespan /. rwb.Rw.Rw_runtime.mean_makespan))
+    [ 2; 4; 8; 16 ]
+
+let () =
+  let sections =
+    [
+      ("agreement", agreement);
+      ("micro", micro);
+      ("theorem4", theorem4);
+      ("exhaustive", exhaustive);
+      ("crossover", crossover);
+      ("sim", sim);
+      ("recovery", recovery);
+      ("sm", sm_fixed);
+      ("geometry", geometry);
+      ("rw", rw_modes);
+    ]
+  in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown section %S (have: %s)@." name
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    requested;
+  Format.printf "@.done.@."

@@ -1,0 +1,470 @@
+(* ddlock — static safety/deadlock analysis of distributed locked
+   transactions (Wolfson & Yannakakis, PODS'85), plus a runtime
+   simulator and the Theorem-2 SAT reduction. *)
+
+open Cmdliner
+open Ddlock
+module Db = Model.Db
+module Transaction = Model.Transaction
+module System = Model.System
+module Parser = Model.Parser
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Parser.parse (read_file path) with
+  | Ok r -> r
+  | Error e ->
+      Format.eprintf "%s: %a@." path Parser.pp_error e;
+      exit 2
+
+let find_txn r name =
+  match List.assoc_opt name r.Parser.named with
+  | Some t -> t
+  | None ->
+      Format.eprintf "unknown transaction %S (have: %s)@." name
+        (String.concat ", " (List.map fst r.Parser.named));
+      exit 2
+
+(* ----------------------------- arguments --------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Transaction-system source file (see ddlock gen for the format).")
+
+let max_states_arg =
+  Arg.(value & opt int 500_000 & info [ "max-states" ]
+       ~doc:"State budget for the exhaustive deadlock search.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+(* ----------------------------- validate ---------------------------- *)
+
+let validate_cmd =
+  let run file =
+    let r = load file in
+    Format.printf "%s: OK (%d sites, %d entities, %d transactions)@." file
+      (Db.site_count r.Parser.db)
+      (Db.entity_count r.Parser.db)
+      (List.length r.Parser.named)
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Parse and validate a system file.")
+    Term.(const run $ file_arg)
+
+(* ----------------------------- analyze ----------------------------- *)
+
+let analyze_cmd =
+  let run file max_states =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    let report = Analysis.report ~max_states sys in
+    Format.printf "%a@." (Analysis.pp_report sys) report;
+    (match report.Analysis.deadlock with
+    | Analysis.Deadlocks { schedule; _ } ->
+        Format.printf "@.how the deadlock happens:@.%a@."
+          (Sched.Narrate.pp sys)
+          schedule;
+        List.iter
+          (fun line -> Format.printf "%s@." line)
+          (List.filteri
+             (fun i _ -> i >= List.length schedule + 1)
+             (Sched.Narrate.explain_deadlock sys schedule))
+    | _ -> ());
+    match (report.Analysis.safety, report.Analysis.deadlock) with
+    | Analysis.Safe_and_deadlock_free, _ -> exit 0
+    | _, Analysis.Deadlocks _ -> exit 1
+    | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Full analysis: Theorem 3/4 safety∧deadlock-freedom plus bounded \
+          exhaustive deadlock search.")
+    Term.(const run $ file_arg $ max_states_arg)
+
+(* ------------------------------- pair ------------------------------ *)
+
+let pair_cmd =
+  let t1_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"T1") in
+  let t2_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"T2") in
+  let run file n1 n2 =
+    let r = load file in
+    let t1 = find_txn r n1 and t2 = find_txn r n2 in
+    match Safety.Pair.check t1 t2 with
+    | Ok () ->
+        Format.printf "{%s, %s}: safe and deadlock-free (Theorem 3)@." n1 n2
+    | Error f ->
+        Format.printf "{%s, %s}: NOT safe∧deadlock-free: %a@." n1 n2
+          (Safety.Pair.pp_failure r.Parser.db)
+          f;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "pair" ~doc:"Theorem 3 O(n²) test on two named transactions.")
+    Term.(const run $ file_arg $ t1_arg $ t2_arg)
+
+(* ------------------------------ copies ----------------------------- *)
+
+let copies_cmd =
+  let t_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"T") in
+  let run file name =
+    let r = load file in
+    let t = find_txn r name in
+    match Safety.Copies.check t with
+    | Ok () ->
+        Format.printf
+          "any number of copies of %s is safe and deadlock-free (Cor. 3 + Thm 5)@."
+          name
+    | Error f ->
+        Format.printf "copies of %s are NOT safe∧deadlock-free: %a@." name
+          (Safety.Copies.pp_failure r.Parser.db)
+          f;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "copies"
+       ~doc:"Corollary 3 test: are copies of a transaction safe∧DF?")
+    Term.(const run $ file_arg $ t_arg)
+
+(* ----------------------------- simulate ---------------------------- *)
+
+let simulate_cmd =
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of executions.")
+  in
+  let run file runs seed =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    let rng = Random.State.make [| seed |] in
+    let stats = Sim.Runtime.batch rng sys ~runs in
+    Format.printf "%a@." Sim.Runtime.pp_batch stats;
+    (* Show one deadlocked trace if any occurred. *)
+    if stats.Sim.Runtime.deadlocks > 0 then begin
+      let rng = Random.State.make [| seed |] in
+      let rec find k =
+        if k = 0 then ()
+        else
+          let one = Sim.Runtime.run rng sys in
+          match one.Sim.Runtime.outcome with
+          | Sim.Runtime.Deadlock _ as o ->
+              Format.printf "example: %a@." (Sim.Runtime.pp_outcome sys) o
+          | _ -> find (k - 1)
+      in
+      find (10 * runs)
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the system repeatedly on the discrete-event runtime.")
+    Term.(const run $ file_arg $ runs_arg $ seed_arg)
+
+(* ------------------------------- gen ------------------------------- *)
+
+let gen_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum
+           [ ("philosophers", `Phil); ("ring", `Ring); ("random", `Random) ]))
+          None
+      & info [] ~docv:"KIND" ~doc:"philosophers | ring | random")
+  in
+  let size_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~doc:"Size parameter (k).")
+  in
+  let txns_arg =
+    Arg.(value & opt int 3 & info [ "txns" ] ~doc:"Transactions (random kind).")
+  in
+  let run kind n txns seed =
+    let named sys =
+      List.mapi
+        (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
+        (Array.to_list (System.txns sys))
+    in
+    let db, pairs =
+      match kind with
+      | `Phil ->
+          let sys = Workload.Gentx.dining_philosophers n in
+          (System.db sys, named sys)
+      | `Ring ->
+          let t = Workload.Gentx.guard_ring n in
+          (Transaction.db t, [ ("T", t) ])
+      | `Random ->
+          let st = Random.State.make [| seed |] in
+          let db = Workload.Gentx.random_db ~sites:(max 1 (n / 2)) ~entities:n in
+          let sys =
+            Workload.Gentx.random_system st db ~txns ~entities_per_txn:(max 1 (n / 2))
+              ~density:0.3
+          in
+          (db, named sys)
+    in
+    print_string (Parser.to_source db pairs)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a system file on stdout.")
+    Term.(const run $ kind_arg $ size_arg $ txns_arg $ seed_arg)
+
+(* ----------------------------- sat-reduce -------------------------- *)
+
+let sat_reduce_cmd =
+  let vars_arg =
+    Arg.(value & opt int 3 & info [ "vars" ] ~doc:"Variables in the random 3SAT' formula.")
+  in
+  let file_opt_arg =
+    Arg.(value & opt (some file) None & info [ "file" ]
+         ~doc:"DIMACS CNF file; normalized to 3SAT' before the reduction.")
+  in
+  let run vars seed file =
+    let st = Random.State.make [| seed |] in
+    let f =
+      match file with
+      | None -> Conp.Gen3sat.generate st ~n_vars:vars
+      | Some path -> (
+          match Conp.Normalize.parse_dimacs (read_file path) with
+          | Error e ->
+              Format.eprintf "%s: %s@." path e;
+              exit 2
+          | Ok general ->
+              let nz = Conp.Normalize.normalize general in
+              Format.printf
+                "normalized %d vars / %d clauses to 3SAT' with %d vars / %d clauses@."
+                general.Conp.Formula.n_vars
+                (List.length general.Conp.Formula.clauses)
+                nz.Conp.Normalize.formula.Conp.Formula.n_vars
+                (List.length nz.Conp.Normalize.formula.Conp.Formula.clauses);
+              nz.Conp.Normalize.formula)
+    in
+    let vars = f.Conp.Formula.n_vars in
+    Format.printf "formula: %a@." Conp.Formula.pp f;
+    let r = Conp.Reduction_sat.build f in
+    Format.printf "reduction: %d entities, %d+%d nodes, %d sites@."
+      (Db.entity_count r.Conp.Reduction_sat.db)
+      (Transaction.node_count r.Conp.Reduction_sat.t1)
+      (Transaction.node_count r.Conp.Reduction_sat.t2)
+      (Db.site_count r.Conp.Reduction_sat.db);
+    match Conp.Dpll.solve f with
+    | None ->
+        Format.printf
+          "DPLL: unsatisfiable — {T1,T2} has no deadlock prefix (Theorem 2)@."
+    | Some model -> (
+        Format.printf "DPLL: satisfiable@.";
+        match Conp.Reduction_sat.deadlock_witness r model with
+        | None -> Format.eprintf "internal error: witness construction failed@."
+        | Some (steps, cycle) ->
+            Format.printf "deadlock prefix schedule: %a@."
+              (Sched.Step.pp_schedule r.Conp.Reduction_sat.sys)
+              steps;
+            Format.printf "reduction-graph cycle:    %a@."
+              (Sched.Step.pp_schedule r.Conp.Reduction_sat.sys)
+              cycle;
+            let a = Conp.Reduction_sat.assignment_of_cycle r cycle in
+            Format.printf "assignment extracted back from the cycle: %s@."
+              (String.concat ", "
+                 (List.init vars (fun j ->
+                      Printf.sprintf "x%d=%b" j a.(j)))))
+  in
+  Cmd.v
+    (Cmd.info "sat-reduce"
+       ~doc:"Demonstrate the Theorem 2 reduction on a random 3SAT' formula.")
+    Term.(const run $ vars_arg $ seed_arg $ file_opt_arg)
+
+(* ------------------------------ repair ----------------------------- *)
+
+let repair_cmd =
+  let run file =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    match Analysis.safe_and_deadlock_free sys with
+    | Analysis.Safe_and_deadlock_free ->
+        Format.printf "# already safe and deadlock-free; nothing to repair@."
+    | v -> (
+        Format.eprintf "# %a@." (Analysis.pp_safety_verdict sys) v;
+        match Analysis.repair_with_global_order sys with
+        | None ->
+            Format.eprintf
+              "cannot repair: transactions are not total orders@.";
+            exit 1
+        | Some sys' ->
+            let named =
+              List.mapi
+                (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
+                (Array.to_list (System.txns sys'))
+            in
+            print_string (Parser.to_source (System.db sys') named))
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Rewrite a failing system of total orders with a global lock           order (2PL, ascending entities); emits the certified system.")
+    Term.(const run $ file_arg)
+
+(* ----------------------------- minimize ---------------------------- *)
+
+let minimize_cmd =
+  let run file max_states =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    match Minimize.deadlock_core ~max_states sys with
+    | None ->
+        Format.printf
+          "# no deadlock found (deadlock-free, or search budget exceeded)@.";
+        exit 1
+    | Some core ->
+        Format.eprintf "# kept transactions: %s@."
+          (String.concat ", "
+             (List.map
+                (fun i -> "T" ^ string_of_int (i + 1))
+                core.Minimize.kept_txns));
+        List.iter
+          (fun (i, e) ->
+            Format.eprintf "# dropped %s from T%d@."
+              (Db.entity_name (System.db sys) e)
+              (i + 1))
+          core.Minimize.dropped_entities;
+        let named =
+          List.mapi
+            (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
+            (Array.to_list (System.txns core.Minimize.core))
+        in
+        print_string (Parser.to_source (System.db core.Minimize.core) named)
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:
+         "Shrink a deadlocking system to a minimal core that still           deadlocks (drops transactions and entity accesses).")
+    Term.(const run $ file_arg $ max_states_arg)
+
+(* ------------------------------- dot ------------------------------- *)
+
+let dot_cmd =
+  let what_arg =
+    Arg.(
+      value
+      & opt (enum [ ("system", `System); ("interaction", `Interaction) ]) `System
+      & info [ "what" ] ~doc:"system | interaction")
+  in
+  let run file what =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    print_string
+      (match what with
+      | `System -> Dot.system sys
+      | `Interaction -> Dot.interaction sys)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for a system or its interaction graph.")
+    Term.(const run $ file_arg $ what_arg)
+
+(* ------------------------------ recover ---------------------------- *)
+
+let recover_cmd =
+  let scheme_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("wait-die", Sim.Recovery.Wait_die);
+               ("wound-wait", Sim.Recovery.Wound_wait);
+               ("detect", Sim.Recovery.Detect { period = 5.0 });
+             ])
+          Sim.Recovery.Wound_wait
+      & info [ "scheme" ] ~doc:"wait-die | wound-wait | detect")
+  in
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of executions.")
+  in
+  let run file scheme runs seed =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    let rng = Random.State.make [| seed |] in
+    let stats = Sim.Recovery.batch ~scheme rng sys ~runs in
+    Format.printf "%a@." Sim.Recovery.pp_batch stats
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Execute under a deadlock-handling scheme (wound-wait, wait-die or \
+          periodic detection) and report aborts/commits.")
+    Term.(const run $ file_arg $ scheme_arg $ runs_arg $ seed_arg)
+
+(* ------------------------------ replay ----------------------------- *)
+
+let replay_cmd =
+  let sched_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE"
+         ~doc:"Schedule file: one 'T<i> L|U <entity>' step per line.")
+  in
+  let run file sched =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    match Sched.Sched_text.parse sys (read_file sched) with
+    | Error e ->
+        Format.eprintf "%s: %a@." sched Sched.Sched_text.pp_error e;
+        exit 2
+    | Ok steps -> (
+        match Sched.Schedule.check sys steps with
+        | Error v ->
+            Format.printf "ILLEGAL: %a@."
+              (Sched.Schedule.pp_violation sys) v;
+            exit 1
+        | Ok st ->
+            Format.printf "%a@." (Sched.Narrate.pp sys) steps;
+            if Sched.State.is_deadlock sys st then
+              List.iter
+                (fun line -> Format.printf "%s@." line)
+                (List.filteri
+                   (fun i _ -> i > List.length steps)
+                   (Sched.Narrate.explain_deadlock sys steps));
+            Format.printf "serialization digraph: %s@."
+              (match Sched.Dgraph.find_cycle sys steps with
+              | None -> "acyclic"
+              | Some cycle ->
+                  Format.asprintf "CYCLIC (%a)"
+                    (Format.pp_print_list
+                       ~pp_sep:(fun ppf () ->
+                         Format.pp_print_string ppf " -> ")
+                       (fun ppf i -> Format.fprintf ppf "T%d" (i + 1)))
+                    cycle);
+            let red = Deadlock.Reduction.make sys st in
+            Format.printf "reduction graph:       %s@."
+              (if Deadlock.Reduction.has_cycle red then
+                 "CYCLIC (no continuation can complete)"
+               else "acyclic"))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a schedule file against a system: legality, narration,           D-graph and reduction-graph verdicts.")
+    Term.(const run $ file_arg $ sched_arg)
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let doc =
+    "Deadlock-freedom and safety of distributed locked transactions \
+     (Wolfson & Yannakakis, PODS'85/JCSS'86)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ddlock" ~version:"1.0.0" ~doc)
+          [
+            validate_cmd;
+            analyze_cmd;
+            pair_cmd;
+            copies_cmd;
+            simulate_cmd;
+            gen_cmd;
+            sat_reduce_cmd;
+            dot_cmd;
+            recover_cmd;
+            repair_cmd;
+            minimize_cmd;
+            replay_cmd;
+          ]))

@@ -1,0 +1,132 @@
+(* Differential soak tester: run the polynomial deciders against the
+   exhaustive ground truth on endless random systems, printing any
+   disagreement with its seed (none are known).
+
+     dune exec bin/fuzz.exe -- [--rounds N] [--seed S] [--txns K]
+
+   Checks per round:
+   - Theorem 3 and the O(n³) minimal-prefix decider vs the exhaustive
+     Lemma-1 search (pairs);
+   - the [LP]/[SW] geometric deciders vs the exhaustive safety and
+     deadlock searches (centralized pairs);
+   - Theorem 4 vs exhaustive (k-transaction systems);
+   - Theorem 1: deadlock-schedule search vs deadlock-prefix search;
+   - Corollary 3 vs the pair test on two copies;
+   - recovery-scheme invariants: wound-wait always commits with a legal
+     committed trace, which is serializable whenever the system is safe
+     (on unsafe systems non-serializable committed traces are expected);
+   - rw invariants: exclusive-abstraction deadlock-freedom implies rw
+     deadlock-freedom (2 transactions).
+*)
+
+open Ddlock
+module System = Model.System
+
+let () =
+  let rounds = ref 500 and seed = ref 1 and txns = ref 3 in
+  let args =
+    [
+      ("--rounds", Arg.Set_int rounds, "number of rounds (default 500)");
+      ("--seed", Arg.Set_int seed, "base seed (default 1)");
+      ("--txns", Arg.Set_int txns, "transactions per system (default 3)");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "fuzz [options]";
+  let failures = ref 0 in
+  let report name round =
+    incr failures;
+    Format.printf "DISAGREEMENT in %s at round %d (seed %d)@." name round !seed
+  in
+  for round = 1 to !rounds do
+    let st = Random.State.make [| !seed; round |] in
+    (* --- pairs --- *)
+    let sites = 1 + Random.State.int st 3 in
+    let entities = 2 + Random.State.int st 3 in
+    let db = Workload.Gentx.random_db ~sites ~entities in
+    let mk () =
+      Workload.Gentx.random_transaction st db
+        ~entities:
+          (Workload.Gentx.random_entity_subset st db
+             ~k:(1 + Random.State.int st entities))
+        ~density:(Random.State.float st 0.5)
+    in
+    let t1 = mk () and t2 = mk () in
+    let pair_sys = System.create [ t1; t2 ] in
+    let exh = Result.is_ok (Sched.Explore.safe_and_deadlock_free pair_sys) in
+    if Safety.Pair.safe_and_deadlock_free t1 t2 <> exh then
+      report "Theorem 3" round;
+    if Safety.Minimal_prefix.safe_and_deadlock_free t1 t2 <> exh then
+      report "minimal-prefix" round;
+    let df1, df2 = Deadlock.Theorem1.verdicts pair_sys in
+    if df1 <> df2 then report "Theorem 1" round;
+    if
+      Safety.Copies.safe_and_deadlock_free t1
+      <> Safety.Pair.safe_and_deadlock_free t1 t1
+    then report "Corollary 3" round;
+    (* --- centralized geometry --- *)
+    let cdb = Workload.Gentx.random_db ~sites:1 ~entities:4 in
+    let cmk () =
+      Workload.Gentx.random_transaction st cdb
+        ~entities:
+          (Workload.Gentx.random_entity_subset st cdb
+             ~k:(1 + Random.State.int st 4))
+        ~density:0.2
+    in
+    let c1 = cmk () and c2 = cmk () in
+    let csys = System.create [ c1; c2 ] in
+    if Safety.Geometry.deadlock_free c1 c2 <> Sched.Explore.deadlock_free csys
+    then report "geometry deadlock" round;
+    if Safety.Geometry.safe c1 c2 <> Result.is_ok (Sched.Explore.safe csys)
+    then report "geometry safety" round;
+    (* --- k transactions --- *)
+    let db2 = Workload.Gentx.random_db ~sites:2 ~entities:3 in
+    let sys =
+      System.create
+        (List.init !txns (fun _ ->
+             Workload.Gentx.random_transaction st db2
+               ~entities:
+                 (Workload.Gentx.random_entity_subset st db2
+                    ~k:(1 + Random.State.int st 2))
+               ~density:(Random.State.float st 0.5)))
+    in
+    let sys_safe_df = Result.is_ok (Sched.Explore.safe_and_deadlock_free sys) in
+    if Safety.Many.safe_and_deadlock_free sys <> sys_safe_df then
+      report "Theorem 4" round;
+    (* --- recovery invariants --- *)
+    let r = Sim.Recovery.run ~scheme:Sim.Recovery.Wound_wait st sys in
+    if r.Sim.Recovery.stats.Sim.Recovery.timed_out then
+      report "wound-wait timeout" round
+    else if
+      not (Sched.Schedule.is_complete sys r.Sim.Recovery.committed_trace)
+    then report "wound-wait trace legality" round
+    else if
+      sys_safe_df
+      && not (Sched.Dgraph.is_serializable sys r.Sim.Recovery.committed_trace)
+    then report "wound-wait serializability" round;
+    (* --- rw invariants --- *)
+    let rwdb = Workload.Gentx.random_db ~sites:1 ~entities:3 in
+    let rwmk () =
+      let k = 1 + Random.State.int st 3 in
+      let ents = Workload.Gentx.random_entity_subset st rwdb ~k in
+      let nodes =
+        List.map
+          (fun e ->
+            let m = if Random.State.bool st then Rw.Rw_txn.Read else Rw.Rw_txn.Write in
+            { Rw.Rw_txn.entity = e; op = Rw.Rw_txn.Lock m })
+          ents
+        @ List.map (fun e -> { Rw.Rw_txn.entity = e; op = Rw.Rw_txn.Unlock }) ents
+      in
+      match Rw.Rw_txn.of_total_order rwdb nodes with
+      | Ok t -> t
+      | Error _ -> assert false
+    in
+    let rwsys = Rw.Rw_system.create [ rwmk (); rwmk () ] in
+    if
+      Sched.Explore.deadlock_free (Rw.Rw_system.to_exclusive rwsys)
+      && not (Rw.Rw_system.deadlock_free rwsys)
+    then report "rw abstraction soundness" round;
+    if round mod 100 = 0 then
+      Format.printf "round %d/%d: %d disagreements@." round !rounds !failures
+  done;
+  Format.printf "done: %d rounds, %d disagreements@." !rounds !failures;
+  exit (if !failures = 0 then 0 else 1)

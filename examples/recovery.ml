@@ -1,0 +1,70 @@
+(* The dynamic alternative to the paper's static guarantees: when a
+   workload is NOT statically deadlock-free, a database falls back to
+   runtime schemes — timestamp ordering (wound-wait / wait-die, RSL'78)
+   or periodic detection-and-abort.  This example pits all three against
+   the dining-philosophers workload that Theorem 4 rejects, and shows
+   the trade: the static certificate costs nothing at runtime, the
+   dynamic schemes pay in aborted work.
+
+     dune exec examples/recovery.exe
+*)
+
+open Ddlock
+module System = Model.System
+
+let schemes =
+  [
+    ("wait-die", Sim.Recovery.Wait_die);
+    ("wound-wait", Sim.Recovery.Wound_wait);
+    ("detect(5)", Sim.Recovery.Detect { period = 5.0 });
+  ]
+
+let () =
+  let sys = Workload.Gentx.dining_philosophers 5 in
+  Format.printf "workload: 5 dining philosophers@.";
+  (match Safety.Many.check sys with
+  | Safety.Many.Cycle_fails _ ->
+      Format.printf "static verdict: NOT safe∧deadlock-free (Theorem 4)@.@."
+  | v -> Format.printf "static verdict: %a@.@." (Safety.Many.pp_verdict sys) v);
+
+  (* Without any handling, most runs deadlock. *)
+  let rng = Random.State.make [| 5 |] in
+  let plain = Sim.Runtime.batch rng sys ~runs:200 in
+  Format.printf "no handling:    %a@.@." Sim.Runtime.pp_batch plain;
+
+  (* Each scheme completes every run, at the price of aborted work. *)
+  List.iter
+    (fun (name, scheme) ->
+      let rng = Random.State.make [| 6 |] in
+      let stats = Sim.Recovery.batch ~scheme rng sys ~runs:200 in
+      Format.printf "%-14s %a@." (name ^ ":") Sim.Recovery.pp_batch stats;
+      assert (stats.Sim.Recovery.timeouts = 0);
+      assert (stats.Sim.Recovery.illegal_traces = 0);
+      assert (stats.Sim.Recovery.non_serializable_traces = 0))
+    schemes;
+
+  (* The statically-fixed workload (a global lock order): the DETECTOR
+     never fires (there is no cycle to find), while the timestamp schemes
+     keep aborting on plain contention — prevention is conservative.
+     This is exactly the value of the paper's static certificate: it
+     tells you the detector-free, abort-free configuration is safe. *)
+  let db = Model.Db.one_site_per_entity [ "f0"; "f1"; "f2"; "f3"; "f4" ] in
+  let ordered =
+    System.create
+      (List.init 5 (fun i ->
+           let a = "f" ^ string_of_int (min i ((i + 1) mod 5)) in
+           let b = "f" ^ string_of_int (max i ((i + 1) mod 5)) in
+           Model.Builder.two_phase_chain db [ a; b ]))
+  in
+  (match Safety.Many.check ordered with
+  | Safety.Many.Safe_and_deadlock_free ->
+      Format.printf
+        "@.ordered variant (lock smaller fork first): safe∧DF by Theorem 4@."
+  | v ->
+      Format.printf "@.unexpected: %a@." (Safety.Many.pp_verdict ordered) v);
+  List.iter
+    (fun (name, scheme) ->
+      let rng = Random.State.make [| 7 |] in
+      let stats = Sim.Recovery.batch ~scheme rng ordered ~runs:200 in
+      Format.printf "%-14s %a@." (name ^ ":") Sim.Recovery.pp_batch stats)
+    schemes

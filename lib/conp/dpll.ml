@@ -1,0 +1,121 @@
+open Formula
+
+(* Partial assignment: None = unassigned. *)
+type pa = bool option array
+
+let lit_value (a : pa) = function
+  | Pos v -> a.(v)
+  | Neg v -> Option.map not a.(v)
+
+(* Simplification status of a clause under a partial assignment. *)
+let clause_status a c =
+  let rec go unassigned = function
+    | [] -> (match unassigned with [] -> `Conflict | ls -> `Open ls)
+    | l :: rest -> (
+        match lit_value a l with
+        | Some true -> `Satisfied
+        | Some false -> go unassigned rest
+        | None -> go (l :: unassigned) rest)
+  in
+  go [] c
+
+exception Conflict
+
+(* Unit propagation to fixpoint; raises Conflict. *)
+let rec propagate f (a : pa) =
+  let changed = ref false in
+  List.iter
+    (fun c ->
+      match clause_status a c with
+      | `Conflict -> raise Conflict
+      | `Open [ l ] ->
+          a.(var l) <- Some (match l with Pos _ -> true | Neg _ -> false);
+          changed := true
+      | `Open _ | `Satisfied -> ())
+    f.clauses;
+  if !changed then propagate f a
+
+let pure_literals f (a : pa) =
+  let pos = Array.make f.n_vars false and neg = Array.make f.n_vars false in
+  List.iter
+    (fun c ->
+      match clause_status a c with
+      | `Open ls ->
+          List.iter
+            (fun l ->
+              match l with Pos v -> pos.(v) <- true | Neg v -> neg.(v) <- true)
+            ls
+      | `Satisfied | `Conflict -> ())
+    f.clauses;
+  for v = 0 to f.n_vars - 1 do
+    if a.(v) = None then
+      if pos.(v) && not neg.(v) then a.(v) <- Some true
+      else if neg.(v) && not pos.(v) then a.(v) <- Some false
+  done
+
+let solve f =
+  let rec go (a : pa) =
+    match propagate f a with
+    | exception Conflict -> None
+    | () -> (
+        pure_literals f a;
+        (* Pure-literal assignment cannot conflict but may enable units. *)
+        match propagate f a with
+        | exception Conflict -> None
+        | () -> (
+            (* Pick a branching variable from an open clause. *)
+            let branch =
+              List.find_map
+                (fun c ->
+                  match clause_status a c with
+                  | `Open (l :: _) -> Some (var l)
+                  | _ -> None)
+                f.clauses
+            in
+            match branch with
+            | None ->
+                (* All clauses satisfied. *)
+                Some (Array.map (Option.value ~default:false) a)
+            | Some v ->
+                let try_with b =
+                  let a' = Array.copy a in
+                  a'.(v) <- Some b;
+                  go a'
+                in
+                (match try_with true with
+                | Some m -> Some m
+                | None -> try_with false)))
+  in
+  match go (Array.make f.n_vars None) with
+  | Some m ->
+      assert (satisfies m f);
+      Some m
+  | None -> None
+
+let satisfiable f = solve f <> None
+
+let satisfiable_brute f =
+  let n = f.n_vars in
+  let rec go i a = if i = n then satisfies a f else (
+    a.(i) <- false;
+    go (i + 1) a
+    ||
+    (a.(i) <- true;
+     go (i + 1) a))
+  in
+  go 0 (Array.make n false)
+
+let count_models f =
+  let n = f.n_vars in
+  let count = ref 0 in
+  let rec go i a =
+    if i = n then (if satisfies a f then incr count)
+    else begin
+      a.(i) <- false;
+      go (i + 1) a;
+      a.(i) <- true;
+      go (i + 1) a
+    end
+  in
+  go 0 (Array.make n false);
+  !count

@@ -1,0 +1,15 @@
+(** A DPLL SAT solver (unit propagation + pure-literal elimination +
+    branching) — the independent ground truth for the §4 reduction. *)
+
+(** [solve f] is [Some a] with [Formula.satisfies a f], or [None] when
+    unsatisfiable. *)
+val solve : Formula.t -> Formula.assignment option
+
+val satisfiable : Formula.t -> bool
+
+(** Brute-force model enumeration, for cross-checking the solver on tiny
+    formulas (2^n). *)
+val satisfiable_brute : Formula.t -> bool
+
+(** Number of models (brute force). *)
+val count_models : Formula.t -> int

@@ -1,0 +1,98 @@
+type literal = Pos of int | Neg of int
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+let var = function Pos v | Neg v -> v
+let negate = function Pos v -> Neg v | Neg v -> Pos v
+
+type assignment = bool array
+
+let lit_holds a = function Pos v -> a.(v) | Neg v -> not a.(v)
+let clause_holds a c = List.exists (lit_holds a) c
+let satisfies a f = List.for_all (clause_holds a) f.clauses
+
+type shape_error =
+  | Clause_too_long of int
+  | Occurrence_mismatch of { var : int; pos : int; neg : int }
+  | Var_out_of_range of int
+  | Duplicate_in_clause of int
+
+let pp_shape_error ppf = function
+  | Clause_too_long i -> Format.fprintf ppf "clause %d has more than 3 literals" i
+  | Occurrence_mismatch { var; pos; neg } ->
+      Format.fprintf ppf
+        "variable %d occurs %d times positively and %d negatively (want 2/1)"
+        var pos neg
+  | Var_out_of_range v -> Format.fprintf ppf "variable %d out of range" v
+  | Duplicate_in_clause i ->
+      Format.fprintf ppf "clause %d mentions a variable twice" i
+
+let check_3sat' f =
+  let errors = ref [] in
+  let pos = Array.make f.n_vars 0 and neg = Array.make f.n_vars 0 in
+  List.iteri
+    (fun i c ->
+      if List.length c > 3 then errors := Clause_too_long i :: !errors;
+      let vars = List.map var c in
+      if List.length (List.sort_uniq compare vars) <> List.length vars then
+        errors := Duplicate_in_clause i :: !errors;
+      List.iter
+        (fun l ->
+          let v = var l in
+          if v < 0 || v >= f.n_vars then errors := Var_out_of_range v :: !errors
+          else
+            match l with
+            | Pos _ -> pos.(v) <- pos.(v) + 1
+            | Neg _ -> neg.(v) <- neg.(v) + 1)
+        c)
+    f.clauses;
+  for v = 0 to f.n_vars - 1 do
+    if pos.(v) <> 2 || neg.(v) <> 1 then
+      errors := Occurrence_mismatch { var = v; pos = pos.(v); neg = neg.(v) } :: !errors
+  done;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let is_3sat' f = Result.is_ok (check_3sat' f)
+
+let occurrences f j =
+  let pos = ref [] and neg = ref [] in
+  List.iteri
+    (fun i c ->
+      List.iter
+        (function
+          | Pos v when v = j -> pos := i :: !pos
+          | Neg v when v = j -> neg := i :: !neg
+          | _ -> ())
+        c)
+    f.clauses;
+  match (List.rev !pos, !neg) with
+  | [ h; k ], [ l ] -> (h, k, l)
+  | _ -> invalid_arg "Formula.occurrences: not in 3SAT' shape"
+
+let pp ppf f =
+  let lit ppf = function
+    | Pos v -> Format.fprintf ppf "x%d" v
+    | Neg v -> Format.fprintf ppf "¬x%d" v
+  in
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ")
+       (fun ppf c ->
+         Format.fprintf ppf "(%a)"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∨ ")
+              lit)
+           c))
+    f.clauses
+
+let of_dimacs n clauses =
+  {
+    n_vars = n;
+    clauses =
+      List.map
+        (List.map (fun i ->
+             if i > 0 then Pos (i - 1)
+             else if i < 0 then Neg (-i - 1)
+             else invalid_arg "Formula.of_dimacs: zero literal"))
+        clauses;
+  }

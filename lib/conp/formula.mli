@@ -1,0 +1,47 @@
+(** CNF formulas and the 3SAT′ fragment used by the §4 reduction.
+
+    Variables are integers [0 .. n-1].  3SAT′ is the NP-complete
+    restriction where every clause has at most 3 literals and every
+    variable occurs exactly twice positively and exactly once negatively
+    across the whole formula. *)
+
+type literal = Pos of int | Neg of int
+
+type clause = literal list
+
+type t = { n_vars : int; clauses : clause list }
+
+val var : literal -> int
+val negate : literal -> literal
+
+(** An assignment maps each variable to a boolean. *)
+type assignment = bool array
+
+val lit_holds : assignment -> literal -> bool
+val clause_holds : assignment -> clause -> bool
+val satisfies : assignment -> t -> bool
+
+type shape_error =
+  | Clause_too_long of int  (** clause index with > 3 literals *)
+  | Occurrence_mismatch of { var : int; pos : int; neg : int }
+  | Var_out_of_range of int
+  | Duplicate_in_clause of int  (** clause index with a repeated variable *)
+
+val pp_shape_error : Format.formatter -> shape_error -> unit
+
+(** [check_3sat' f] verifies the 3SAT′ shape. *)
+val check_3sat' : t -> (unit, shape_error list) result
+
+val is_3sat' : t -> bool
+
+(** Positions of the variable's occurrences, required by the reduction:
+    [occurrences f j] is [(h, k, l)] — the clause indices of the first
+    positive, second positive and the negative occurrence of [j].
+    Requires the 3SAT′ shape. *)
+val occurrences : t -> int -> int * int * int
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_lists n clauses] with clauses as int lists, negative integers for
+    negated variables 1-based (DIMACS-style): [-2] is ¬x₁. *)
+val of_dimacs : int -> int list list -> t

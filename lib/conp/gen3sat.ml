@@ -1,0 +1,40 @@
+open Formula
+
+let generate rng ~n_vars =
+  if n_vars < 3 then invalid_arg "Gen3sat.generate: n_vars < 3";
+  let tokens () =
+    let a =
+      Array.concat
+        (List.init n_vars (fun v -> [| Pos v; Pos v; Neg v |]))
+    in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  let rec attempt () =
+    let a = tokens () in
+    let clauses =
+      List.init n_vars (fun i -> [ a.(3 * i); a.((3 * i) + 1); a.((3 * i) + 2) ])
+    in
+    let ok =
+      List.for_all
+        (fun c ->
+          let vars = List.map var c in
+          List.length (List.sort_uniq compare vars) = List.length vars)
+        clauses
+    in
+    if ok then { n_vars; clauses } else attempt ()
+  in
+  attempt ()
+
+let paper_example =
+  (* (x0 + x1) . (x0 + ¬x1) . (¬x0 + x1) — the formula illustrated in
+     Fig. 5 of the paper (variables renumbered from 1-based to 0-based). *)
+  { n_vars = 2; clauses = [ [ Pos 0; Pos 1 ]; [ Pos 0; Neg 1 ]; [ Neg 0; Pos 1 ] ] }
+
+let tiny_unsat =
+  { n_vars = 1; clauses = [ [ Neg 0 ]; [ Pos 0 ]; [ Pos 0 ] ] }

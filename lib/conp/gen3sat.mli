@@ -1,0 +1,18 @@
+(** Random 3SAT′ instance generation.
+
+    Every variable contributes exactly three occurrence tokens (two
+    positive, one negative); tokens are shuffled and dealt into clauses
+    of size 3 (so the clause count is exactly the variable count),
+    re-dealing when a clause would mention a variable twice. *)
+
+(** [generate rng ~n_vars] — a random 3SAT′ formula with [n_vars]
+    variables and [n_vars] clauses.  Requires [n_vars >= 3] so that a
+    duplicate-free deal exists. *)
+val generate : Random.State.t -> n_vars:int -> Formula.t
+
+(** A fixed satisfiable example used in docs/tests: the paper's
+    illustration (x₀ ∨ x₁) ∧ (x₀ ∨ ¬x₁) ∧ (¬x₀ ∨ x₁). *)
+val paper_example : Formula.t
+
+(** A small unsatisfiable 3SAT′ instance: (¬x₀) ∧ (x₀) ∧ (x₀). *)
+val tiny_unsat : Formula.t

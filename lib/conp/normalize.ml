@@ -1,0 +1,187 @@
+open Formula
+
+type t = {
+  formula : Formula.t;
+  back : Formula.assignment -> Formula.assignment;
+}
+
+(* Stage 1: make every clause have 1..3 literals. *)
+let split_clauses f =
+  let fresh = ref f.n_vars in
+  let new_var () =
+    let v = !fresh in
+    incr fresh;
+    (v, Pos v)
+  in
+  let clauses =
+    List.concat_map
+      (fun c ->
+        match c with
+        | [] ->
+            (* An empty clause is unsatisfiable: encode with a fresh q as
+               (q) ∧ (¬q); the ring stage fixes the counts. *)
+            let q, _ = new_var () in
+            [ [ Pos q ]; [ Neg q ] ]
+        | [ _ ] | [ _; _ ] | [ _; _; _ ] -> [ c ]
+        | l1 :: l2 :: rest ->
+            (* (l1 l2 z1) (¬z1 l3 z2) ... (¬z_last l_{k-1} l_k) *)
+            let rec chain prev_z = function
+              | [ a; b ] -> [ [ Neg prev_z; a; b ] ]
+              | a :: (_ :: _ :: _ as more) ->
+                  let z, zl = new_var () in
+                  [ Neg prev_z; a; zl ] :: chain z more
+              | [ a ] -> [ [ Neg prev_z; a ] ]
+              | [] -> assert false
+            in
+            let z0, z0l = new_var () in
+            [ l1; l2; z0l ] :: chain z0 rest)
+      f.clauses
+  in
+  { n_vars = !fresh; clauses }
+
+(* Stage 2: occurrence rings.  See the interface for the construction. *)
+let ring_normalize f =
+  (* Occurrence slots per variable, in clause order. *)
+  let occs = Array.make f.n_vars [] in
+  List.iteri
+    (fun ci c ->
+      List.iteri
+        (fun li l -> occs.(var l) <- (ci, li, l) :: occs.(var l))
+        c)
+    f.clauses;
+  Array.iteri (fun v l -> occs.(v) <- List.rev l) occs;
+  let fresh = ref 0 in
+  let new_var () =
+    let v = !fresh in
+    incr fresh;
+    v
+  in
+  (* For the rewrite of original clauses: (clause, literal index) ->
+     replacement literal. *)
+  let replacement = Hashtbl.create 64 in
+  let ring_clauses = ref [] in
+  let pads = ref [] in
+  let head_a = Array.make f.n_vars (-1) in
+  for v = 0 to f.n_vars - 1 do
+    let slots = occs.(v) in
+    if slots <> [] then begin
+      let p =
+        List.length (List.filter (fun (_, _, l) -> l = Pos v) slots)
+      in
+      let n = List.length slots - p in
+      let d = max 0 (max (p - (2 * n)) (n - (2 * p))) in
+      let m = p + n + d in
+      let a = Array.init m (fun _ -> new_var ()) in
+      let b = Array.init m (fun _ -> new_var ()) in
+      head_a.(v) <- a.(0);
+      (* Implication cycle a_i -> ¬b_i -> a_{i+1}. *)
+      for i = 0 to m - 1 do
+        ring_clauses := [ Neg a.(i); Neg b.(i) ] :: !ring_clauses;
+        ring_clauses := [ Pos b.(i); Pos a.((i + 1) mod m) ] :: !ring_clauses
+      done;
+      (* Occurrences take slots 0..p+n-1; unused senses go to pads. *)
+      let unused_a = ref [] and unused_b = ref [] in
+      List.iteri
+        (fun i (ci, li, l) ->
+          match l with
+          | Pos _ ->
+              Hashtbl.replace replacement (ci, li) (Pos a.(i));
+              unused_b := b.(i) :: !unused_b
+          | Neg _ ->
+              Hashtbl.replace replacement (ci, li) (Pos b.(i));
+              unused_a := a.(i) :: !unused_a)
+        slots;
+      for i = p + n to m - 1 do
+        unused_a := a.(i) :: !unused_a;
+        unused_b := b.(i) :: !unused_b
+      done;
+      (* Pads: each contains one complementary a/b pair (a tautology given
+         the ring), 3-literal pads absorb the imbalance. *)
+      let rec pad la lb =
+        match (la, lb) with
+        | [], [] -> ()
+        | a1 :: ra, b1 :: b2 :: rb when List.length lb > List.length la ->
+            pads := [ Pos a1; Pos b1; Pos b2 ] :: !pads;
+            pad ra rb
+        | a1 :: a2 :: ra, b1 :: rb when List.length la > List.length lb ->
+            pads := [ Pos a1; Pos a2; Pos b1 ] :: !pads;
+            pad ra rb
+        | a1 :: ra, b1 :: rb ->
+            pads := [ Pos a1; Pos b1 ] :: !pads;
+            pad ra rb
+        | _ -> assert false
+      in
+      pad !unused_a !unused_b
+    end
+  done;
+  let rewritten =
+    List.mapi
+      (fun ci c -> List.mapi (fun li _ -> Hashtbl.find replacement (ci, li)) c)
+      f.clauses
+  in
+  let formula =
+    { n_vars = !fresh; clauses = rewritten @ List.rev !ring_clauses @ !pads }
+  in
+  let back (model : assignment) =
+    Array.init f.n_vars (fun v ->
+        if head_a.(v) >= 0 then model.(head_a.(v)) else false)
+  in
+  (formula, back)
+
+let normalize f =
+  let split = split_clauses f in
+  let formula, back_ring = ring_normalize split in
+  let back model =
+    (* Drop the splitter variables: original vars are a prefix. *)
+    Array.sub (back_ring model) 0 f.n_vars
+  in
+  { formula; back }
+
+let parse_dimacs src =
+  let lines = String.split_on_char '\n' src in
+  let n_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  List.iter
+    (fun line ->
+      if !error = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+        else if line.[0] = 'p' then begin
+          match
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+          with
+          | [ "p"; "cnf"; v; _ ] -> (
+              match int_of_string_opt v with
+              | Some v -> n_vars := v
+              | None -> error := Some "bad variable count")
+          | _ -> error := Some "malformed p line"
+        end
+        else
+          List.iter
+            (fun tok ->
+              if tok <> "" && !error = None then
+                match int_of_string_opt tok with
+                | None -> error := Some ("bad literal " ^ tok)
+                | Some 0 ->
+                    clauses := List.rev !current :: !clauses;
+                    current := []
+                | Some i ->
+                    if !n_vars < 0 then error := Some "clause before p line"
+                    else if abs i > !n_vars then
+                      error := Some ("literal out of range: " ^ tok)
+                    else
+                      current :=
+                        (if i > 0 then Pos (i - 1) else Neg (-i - 1))
+                        :: !current)
+            (String.split_on_char ' ' line))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !n_vars < 0 then Error "missing p line"
+      else begin
+        if !current <> [] then clauses := List.rev !current :: !clauses;
+        Ok { n_vars = !n_vars; clauses = List.rev !clauses }
+      end

@@ -1,0 +1,37 @@
+(** Normalization of arbitrary CNF into the 3SAT′ fragment required by
+    the §4 reduction (≤3 literals per clause; every variable exactly
+    twice positive, once negative), preserving satisfiability.
+
+    Pipeline:
+
+    + {e clause splitting}: a clause [l₁ ∨ … ∨ l_k] with [k > 3] becomes
+      [(l₁ ∨ l₂ ∨ z₁) (¬z₁ ∨ l₃ ∨ z₂) … (¬z_{k-3} ∨ l_{k-1} ∨ l_k)];
+    + {e occurrence rings}: every original variable [v] with [m]
+      occurrence slots gets fresh pairs [aᵢ] ("v") / [bᵢ] ("¬v") tied by
+      the implication cycle [a₁ → ¬b₁ → a₂ → … → ¬b_m → a₁] (clauses
+      [(¬aᵢ ∨ ¬bᵢ)] and [(bᵢ ∨ a_{i+1})]), which forces all [aᵢ] equal
+      and [bᵢ = ¬aᵢ].  A positive occurrence uses [aᵢ] (positively), a
+      negative one uses [bᵢ] (positively);
+    + {e tautological pads}: each ring sense not consumed by an
+      occurrence still needs exactly one positive use; pads are clauses
+      containing a complementary [a]/[b] pair from one ring (hence
+      entailed by the ring, never constraining), with dummy ring slots
+      added to absorb polarity imbalance.
+
+    The result is 3SAT′ and equisatisfiable; moreover models restrict to
+    models: the [a] variables of [v]'s ring all carry [v]'s value. *)
+
+type t = {
+  formula : Formula.t;  (** the 3SAT′ output *)
+  back : Formula.assignment -> Formula.assignment;
+      (** map a model of the output to a model of the input *)
+}
+
+(** [normalize f] — [f] may have clauses of any length and any occurrence
+    counts; empty clauses are allowed (the output is then trivially
+    unsatisfiable but still 3SAT′-shaped). *)
+val normalize : Formula.t -> t
+
+(** Parse DIMACS CNF text ("p cnf <vars> <clauses>" header, clauses as
+    zero-terminated integer lists, "c" comment lines). *)
+val parse_dimacs : string -> (Formula.t, string) result

@@ -1,0 +1,142 @@
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+let buf_printf = Printf.bprintf
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_label db (nd : Node.t) = escape (Node.to_string db nd)
+
+(* Emit one transaction's nodes (optionally prefixed to keep ids unique
+   across a system) and its Hasse arcs. *)
+let emit_txn b db ?(id_prefix = "") ?(indent = "  ") tx =
+  let id v = Printf.sprintf "%s%d" id_prefix v in
+  (* Group nodes by site. *)
+  for s = 0 to Db.site_count db - 1 do
+    let nodes =
+      List.filter
+        (fun v -> Db.site_of db (Transaction.node tx v).Node.entity = s)
+        (List.init (Transaction.node_count tx) Fun.id)
+    in
+    if nodes <> [] then begin
+      buf_printf b "%ssubgraph \"cluster_%s%s\" {\n" indent id_prefix
+        (escape (Db.site_name db s));
+      buf_printf b "%s  label=\"%s\"; style=dotted;\n" indent
+        (escape (Db.site_name db s));
+      List.iter
+        (fun v ->
+          buf_printf b "%s  %s [label=\"%s\"];\n" indent (id v)
+            (node_label db (Transaction.node tx v)))
+        nodes;
+      buf_printf b "%s}\n" indent
+    end
+  done;
+  List.iter
+    (fun (u, v) -> buf_printf b "%s%s -> %s;\n" indent (id u) (id v))
+    (Digraph.edges (Transaction.hasse tx))
+
+let transaction ?(name = "T") tx =
+  let b = Buffer.create 256 in
+  let db = Transaction.db tx in
+  buf_printf b "digraph \"%s\" {\n  rankdir=TB;\n  node [shape=box];\n"
+    (escape name);
+  emit_txn b db tx;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let system sys =
+  let b = Buffer.create 1024 in
+  let db = System.db sys in
+  Buffer.add_string b "digraph system {\n  rankdir=TB;\n  node [shape=box];\n";
+  Array.iteri
+    (fun i tx ->
+      buf_printf b "  subgraph \"cluster_T%d\" {\n    label=\"T%d\";\n" (i + 1)
+        (i + 1);
+      emit_txn b db ~id_prefix:(Printf.sprintf "t%d_" i) ~indent:"    " tx;
+      Buffer.add_string b "  }\n")
+    (System.txns sys);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let interaction sys =
+  let b = Buffer.create 256 in
+  let db = System.db sys in
+  Buffer.add_string b "graph interaction {\n  node [shape=circle];\n";
+  for i = 0 to System.size sys - 1 do
+    buf_printf b "  %d [label=\"T%d\"];\n" i (i + 1)
+  done;
+  List.iter
+    (fun (i, j) ->
+      let shared =
+        String.concat ","
+          (List.map (Db.entity_name db)
+             (Bitset.to_list (System.common_entities sys i j)))
+      in
+      buf_printf b "  %d -- %d [label=\"%s\"];\n" i j (escape shared))
+    (Ungraph.edges (System.interaction_graph sys));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let reduction sys prefix =
+  let r = Ddlock_deadlock.Reduction.make sys prefix in
+  let g = Ddlock_deadlock.Reduction.graph r in
+  let db = System.db sys in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "digraph reduction {\n  node [shape=box];\n";
+  (* Only nodes participating in arcs (remaining nodes). *)
+  let mentioned = Hashtbl.create 32 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace mentioned u ();
+      Hashtbl.replace mentioned v ())
+    (Digraph.edges g);
+  Hashtbl.iter
+    (fun u () ->
+      let step = Ddlock_deadlock.Reduction.step_of_id r u in
+      buf_printf b "  %d [label=\"%s\"];\n" u (escape (Step.to_string sys step)))
+    mentioned;
+  List.iter
+    (fun (u, v) ->
+      let su = Ddlock_deadlock.Reduction.step_of_id r u in
+      let sv = Ddlock_deadlock.Reduction.step_of_id r v in
+      let lock_arc =
+        su.Step.txn <> sv.Step.txn
+        && (Transaction.node (System.txn sys su.Step.txn) su.Step.node)
+             .Node.entity
+           = (Transaction.node (System.txn sys sv.Step.txn) sv.Step.node)
+               .Node.entity
+      in
+      if lock_arc then
+        buf_printf b "  %d -> %d [style=dashed, label=\"%s\"];\n" u v
+          (escape
+             (Db.entity_name db
+                (Transaction.node (System.txn sys su.Step.txn) su.Step.node)
+                  .Node.entity))
+      else buf_printf b "  %d -> %d;\n" u v)
+    (Digraph.edges g);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let dgraph sys steps =
+  let b = Buffer.create 256 in
+  let db = System.db sys in
+  Buffer.add_string b "digraph D {\n  node [shape=circle];\n";
+  for i = 0 to System.size sys - 1 do
+    buf_printf b "  %d [label=\"T%d\"];\n" i (i + 1)
+  done;
+  List.iter
+    (fun (a : Dgraph.labelled_arc) ->
+      buf_printf b "  %d -> %d [label=\"%s\"];\n" a.Dgraph.src a.Dgraph.dst
+        (escape (Db.entity_name db a.Dgraph.entity)))
+    (Dgraph.arcs sys steps);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

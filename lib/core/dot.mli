@@ -1,0 +1,23 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Graphviz (dot) renderings of the library's objects — handy for
+    inspecting transactions, reduction graphs and serialization digraphs
+    ([ddlock dot ... | dot -Tsvg]). *)
+
+(** Hasse diagram of one transaction; nodes are grouped per site. *)
+val transaction : ?name:string -> Transaction.t -> string
+
+(** All transactions of a system as subgraph clusters. *)
+val system : System.t -> string
+
+(** The interaction graph G(A), with shared entities as edge labels. *)
+val interaction : System.t -> string
+
+(** The reduction graph R(A′) of a prefix: remaining precedence arcs
+    (solid) and lock arcs Uⁱx → Lʲx (dashed, labelled by entity). *)
+val reduction : System.t -> State.t -> string
+
+(** The serialization digraph D(S′) of a (partial) schedule, arcs
+    labelled by entities. *)
+val dgraph : System.t -> Step.t list -> string

@@ -1,0 +1,29 @@
+open Ddlock_schedule
+
+type witness = {
+  prefix : State.t;
+  schedule : Step.t list;
+  cycle : Step.t list;
+}
+
+let scan ?max_states sys =
+  let sp = Explore.explore ?max_states sys in
+  Seq.filter_map
+    (fun st ->
+      let r = Reduction.make sys st in
+      match Reduction.find_cycle r with
+      | None -> None
+      | Some cycle -> Some (st, cycle, sp))
+    (Explore.states sp)
+
+let find ?max_states sys =
+  match scan ?max_states sys () with
+  | Seq.Nil -> None
+  | Seq.Cons ((prefix, cycle, sp), _) ->
+      let schedule = Option.get (Explore.schedule_to sp prefix) in
+      Some { prefix; schedule; cycle }
+
+let deadlock_free ?max_states sys = find ?max_states sys = None
+
+let all ?max_states sys =
+  Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)

@@ -1,0 +1,26 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Exhaustive deadlock-prefix search — the Theorem-1 ground truth.
+
+    By Theorem 1, a system is deadlock-free iff no prefix of it is a
+    deadlock prefix.  A deadlock prefix must have a schedule, i.e. be a
+    reachable state of {!Explore}; therefore it suffices to scan reachable
+    states for a cyclic reduction graph. *)
+
+type witness = {
+  prefix : State.t;  (** the deadlock prefix A′ *)
+  schedule : Step.t list;  (** a partial schedule realizing A′ *)
+  cycle : Step.t list;  (** a cycle of R(A′) *)
+}
+
+(** First deadlock prefix found, scanning reachable states in BFS order. *)
+val find : ?max_states:int -> System.t -> witness option
+
+(** [deadlock_free sys] iff no reachable state has a cyclic reduction
+    graph — by Theorem 1 this is equivalent to
+    {!Ddlock_schedule.Explore.deadlock_free}. *)
+val deadlock_free : ?max_states:int -> System.t -> bool
+
+(** All deadlock prefixes (reachable states with cyclic R). *)
+val all : ?max_states:int -> System.t -> State.t Seq.t

@@ -1,0 +1,29 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Utilities around Theorem 1 and the §3 remarks. *)
+
+(** Both deciders — deadlock partial schedule search and deadlock prefix
+    search — must agree (Theorem 1).  Returns the two verdicts
+    [(deadlock_free_by_schedules, deadlock_free_by_prefixes)]. *)
+val verdicts : ?max_states:int -> System.t -> bool * bool
+
+(** §3 remark: if the execution of partial schedule [s] results in a
+    deadlock of A, then the total orders [tᵢ] = (projection of [s] on
+    [Tᵢ]) ++ (a linear extension of the remainder) form a centralized
+    system in which [s] also deadlocks.  Returns that system of total
+    orders. *)
+val centralized_witness : System.t -> Step.t list -> System.t
+
+(** [extension_pair_deadlocks sys] — for a 2-transaction system: whether
+    SOME pair of linear extensions (t₁, t₂) deadlocks (used to exhibit
+    the Fig. 3 phenomenon: this may hold while the distributed pair is
+    deadlock-free).  Exponential. *)
+val extension_pair_deadlocks : System.t -> bool
+
+(** [extension_pairs_all_safe sys] — for a 2-transaction system: whether
+    EVERY pair of linear extensions is safe.  By the Kanellakis–
+    Papadimitriou observation quoted in §3, this is equivalent to the
+    distributed pair being safe — unlike deadlock-freedom, where only one
+    direction holds.  Exponential. *)
+val extension_pairs_all_safe : System.t -> bool

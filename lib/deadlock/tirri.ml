@@ -1,0 +1,31 @@
+open Ddlock_graph
+open Ddlock_model
+
+let find_pair t1 t2 =
+  let common =
+    Bitset.inter (Transaction.entity_set t1) (Transaction.entity_set t2)
+  in
+  let result = ref None in
+  Bitset.iter
+    (fun x ->
+      Bitset.iter
+        (fun y ->
+          if x <> y && !result = None then begin
+            let l1y = Transaction.lock_node_exn t1 y
+            and u1x = Transaction.unlock_node_exn t1 x
+            and l1x = Transaction.lock_node_exn t1 x
+            and l2x = Transaction.lock_node_exn t2 x
+            and u2y = Transaction.unlock_node_exn t2 y
+            and l2y = Transaction.lock_node_exn t2 y in
+            if
+              Transaction.precedes t1 l1y u1x
+              && Transaction.precedes t2 l2x u2y
+              && (not (Transaction.precedes t1 l1y l1x))
+              && not (Transaction.precedes t2 l2x l2y)
+            then result := Some (x, y)
+          end)
+        common)
+    common;
+  !result
+
+let claims_deadlock_free t1 t2 = find_pair t1 t2 = None

@@ -1,0 +1,113 @@
+(* Tarjan's strongly-connected-components algorithm, iterative to be safe
+   on deep graphs. *)
+let scc g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Array.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Digraph.succ g v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      comps := List.sort compare (pop []) :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !comps
+
+(* Johnson's algorithm for enumerating elementary cycles.  We materialize
+   cycles into a queue per root to expose them as a Seq lazily enough for
+   our graph sizes. *)
+let simple_cycles g =
+  let n = Digraph.node_count g in
+  let results = ref [] in
+  let blocked = Array.make n false in
+  let b = Array.make n [] in
+  let path = ref [] in
+  let rec unblock u =
+    if blocked.(u) then begin
+      blocked.(u) <- false;
+      let bs = b.(u) in
+      b.(u) <- [];
+      List.iter unblock bs
+    end
+  in
+  (* For each root s (smallest node of its cycles), search within the
+     subgraph of nodes >= s restricted to the SCC of s. *)
+  for s = 0 to n - 1 do
+    (* Subgraph on nodes >= s. *)
+    let allowed v = v >= s in
+    (* Find SCC containing s in that subgraph. *)
+    let sub, renum = Digraph.induced g allowed in
+    let comps = scc sub in
+    let inv = Array.make (Digraph.node_count sub) (-1) in
+    Array.iteri (fun old nw -> if nw >= 0 then inv.(nw) <- old) renum;
+    (match
+       List.find_opt (fun comp -> List.exists (fun v -> inv.(v) = s) comp) comps
+     with
+    | None -> ()
+    | Some comp ->
+        let comp_orig = List.map (fun v -> inv.(v)) comp in
+        let in_comp = Bitset.of_list n comp_orig in
+        let self_loop = Digraph.mem_edge g s s in
+        if self_loop then results := [ s ] :: !results;
+        if List.length comp_orig > 1 && Bitset.mem in_comp s then begin
+          List.iter
+            (fun v ->
+              blocked.(v) <- false;
+              b.(v) <- [])
+            comp_orig;
+          let rec circuit v =
+            let found = ref false in
+            blocked.(v) <- true;
+            path := v :: !path;
+            Array.iter
+              (fun w ->
+                if Bitset.mem in_comp w then
+                  if w = s then begin
+                    (* v = s means the s->s self loop, already counted. *)
+                    if v <> s then results := List.rev !path :: !results;
+                    found := true
+                  end
+                  else if not blocked.(w) then if circuit w then found := true)
+              (Digraph.succ g v);
+            if !found then unblock v
+            else
+              Array.iter
+                (fun w ->
+                  if Bitset.mem in_comp w && not (List.mem v b.(w)) then
+                    b.(w) <- v :: b.(w))
+                (Digraph.succ g v);
+            path := List.tl !path;
+            !found
+          in
+          ignore (circuit s)
+        end)
+  done;
+  List.to_seq (List.rev !results)
+
+let count_simple_cycles g = Seq.length (simple_cycles g)

@@ -1,0 +1,14 @@
+(** Strongly connected components and simple-cycle enumeration. *)
+
+(** [scc g] is the list of strongly connected components (each a sorted
+    node list) in reverse topological order of the condensation. *)
+val scc : Digraph.t -> int list list
+
+(** [simple_cycles g] enumerates every simple directed cycle of [g]
+    (Johnson's algorithm).  Each cycle is a node list [v0; ...; vk-1]
+    rooted at its smallest node, with every [vi -> v(i+1 mod k)] an edge.
+    Self-loops are reported as singleton lists. *)
+val simple_cycles : Digraph.t -> int list Seq.t
+
+(** Number of simple directed cycles. *)
+val count_simple_cycles : Digraph.t -> int

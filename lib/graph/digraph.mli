@@ -1,0 +1,53 @@
+(** Directed graphs over the node set [0 .. n-1].
+
+    The representation is immutable after construction: adjacency is stored
+    as sorted, deduplicated arrays of successors and predecessors.  Self
+    loops are allowed; parallel edges are collapsed. *)
+
+type t
+
+(** [create n edges] is the graph with [n] nodes and the given directed
+    edges.  Raises [Invalid_argument] if an endpoint is out of range. *)
+val create : int -> (int * int) list -> t
+
+(** Number of nodes. *)
+val node_count : t -> int
+
+(** Number of (distinct) edges. *)
+val edge_count : t -> int
+
+(** Sorted array of successors of a node.  Do not mutate. *)
+val succ : t -> int -> int array
+
+(** Sorted array of predecessors of a node.  Do not mutate. *)
+val pred : t -> int -> int array
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** [mem_edge g u v] iff edge [u -> v] exists (binary search, O(log d)). *)
+val mem_edge : t -> int -> int -> bool
+
+(** All edges, lexicographically sorted. *)
+val edges : t -> (int * int) list
+
+(** [add_edges g es] is a new graph with the extra edges. *)
+val add_edges : t -> (int * int) list -> t
+
+(** Graph with every edge reversed. *)
+val transpose : t -> t
+
+(** [induced g keep] is the subgraph induced by the nodes for which
+    [keep] holds, together with the (old -> new) node renumbering as an
+    array where dropped nodes map to [-1]. *)
+val induced : t -> (int -> bool) -> t * int array
+
+(** [reachable g src] is the set of nodes reachable from [src] (including
+    [src] itself). *)
+val reachable : t -> int -> Bitset.t
+
+(** [reachable_from_set g srcs] is the union of reachability from each
+    source in [srcs]. *)
+val reachable_from_set : t -> int list -> Bitset.t
+
+val pp : Format.formatter -> t -> unit

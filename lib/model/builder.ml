@@ -1,0 +1,67 @@
+type step = L of string | U of string
+
+let node_of_step db = function
+  | L name -> Node.lock (Db.find_entity_exn db name)
+  | U name -> Node.unlock (Db.find_entity_exn db name)
+
+let collect db ~chains ~arcs =
+  let tbl = Hashtbl.create 17 in
+  let labels = ref [] in
+  let count = ref 0 in
+  let id_of step =
+    let nd = node_of_step db step in
+    match Hashtbl.find_opt tbl nd with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add tbl nd i;
+        labels := nd :: !labels;
+        i
+  in
+  let arc_list = ref [] in
+  List.iter
+    (fun chain ->
+      let ids = List.map id_of chain in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            arc_list := (a, b) :: !arc_list;
+            link rest
+        | _ -> ()
+      in
+      link ids)
+    chains;
+  List.iter (fun (a, b) -> arc_list := (id_of a, id_of b) :: !arc_list) arcs;
+  (* Materialize the matching op for every mentioned entity and the
+     implicit Lx < Ux arc. *)
+  let mentioned = Hashtbl.fold (fun (nd : Node.t) _ acc -> nd.entity :: acc) tbl [] in
+  List.iter
+    (fun e ->
+      let l = id_of (L (Db.entity_name db e)) in
+      let u = id_of (U (Db.entity_name db e)) in
+      arc_list := (l, u) :: !arc_list)
+    (List.sort_uniq compare mentioned);
+  (Array.of_list (List.rev !labels), !arc_list)
+
+let transaction db ?(chains = []) ?(arcs = []) () =
+  let labels, arc_list = collect db ~chains ~arcs in
+  Transaction.make db labels arc_list
+
+let transaction_exn db ?(chains = []) ?(arcs = []) () =
+  let labels, arc_list = collect db ~chains ~arcs in
+  Transaction.make_exn db labels arc_list
+
+let total db steps =
+  Transaction.of_total_order db (List.map (node_of_step db) steps)
+
+let total_exn db steps =
+  match total db steps with
+  | Ok t -> t
+  | Error es ->
+      invalid_arg
+        ("Builder.total_exn: "
+        ^ String.concat "; "
+            (List.map (Transaction.error_to_string db) es))
+
+let two_phase_chain db names =
+  total_exn db (List.map (fun n -> L n) names @ List.map (fun n -> U n) names)

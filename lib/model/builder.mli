@@ -1,0 +1,37 @@
+(** Convenience DSL for constructing transactions in code and tests.
+
+    Steps are written [L "x"] / [U "x"] with entity names resolved against
+    the schema.  For every entity mentioned at all, both its Lock and its
+    Unlock node are created and the implicit arc [Lx < Ux] is added, so a
+    chain like [[L "x"; L "y"; U "x"]] is enough to describe a
+    transaction touching x and y. *)
+
+type step = L of string | U of string
+
+(** [transaction db ~chains ~arcs ()] — [chains] contribute arcs between
+    consecutive steps; [arcs] are extra individual arcs.  Validation as in
+    {!Transaction.make}.  Raises [Not_found] for unknown entity names. *)
+val transaction :
+  Db.t ->
+  ?chains:step list list ->
+  ?arcs:(step * step) list ->
+  unit ->
+  (Transaction.t, Transaction.error list) result
+
+(** Like {!transaction} but raising on validation errors. *)
+val transaction_exn :
+  Db.t ->
+  ?chains:step list list ->
+  ?arcs:(step * step) list ->
+  unit ->
+  Transaction.t
+
+(** [total db steps] builds a centralized-style total order from explicit
+    steps (no implicit nodes or arcs added beyond the chain). *)
+val total : Db.t -> step list -> (Transaction.t, Transaction.error list) result
+
+val total_exn : Db.t -> step list -> Transaction.t
+
+(** [two_phase_chain db names] is the 2PL total order
+    [Lx1 < ... < Lxk < Ux1 < ... < Uxk]. *)
+val two_phase_chain : Db.t -> string list -> Transaction.t

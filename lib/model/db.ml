@@ -1,0 +1,72 @@
+type entity = int
+type site = int
+
+type t = {
+  entity_names : string array;
+  sites : int array; (* entity id -> site id *)
+  site_names : string array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create site_specs =
+  let site_names = Array.of_list (List.map fst site_specs) in
+  let seen_sites = Hashtbl.create 7 in
+  Array.iter
+    (fun s ->
+      if Hashtbl.mem seen_sites s then
+        invalid_arg (Printf.sprintf "Db.create: duplicate site %S" s);
+      Hashtbl.add seen_sites s ())
+    site_names;
+  let entity_names = ref [] and sites = ref [] in
+  List.iteri
+    (fun si (_, ents) ->
+      List.iter
+        (fun e ->
+          entity_names := e :: !entity_names;
+          sites := si :: !sites)
+        ents)
+    site_specs;
+  let entity_names = Array.of_list (List.rev !entity_names) in
+  let sites = Array.of_list (List.rev !sites) in
+  let by_name = Hashtbl.create (Array.length entity_names) in
+  Array.iteri
+    (fun i e ->
+      if Hashtbl.mem by_name e then
+        invalid_arg (Printf.sprintf "Db.create: duplicate entity %S" e);
+      Hashtbl.add by_name e i)
+    entity_names;
+  { entity_names; sites; site_names; by_name }
+
+let single_site entities = create [ ("main", entities) ]
+
+let one_site_per_entity entities =
+  create (List.map (fun e -> ("site_" ^ e, [ e ])) entities)
+
+let entity_count t = Array.length t.entity_names
+let site_count t = Array.length t.site_names
+let site_of t e = t.sites.(e)
+let entity_name t e = t.entity_names.(e)
+let site_name t s = t.site_names.(s)
+
+let entities_of_site t s =
+  List.filter
+    (fun e -> t.sites.(e) = s)
+    (List.init (entity_count t) Fun.id)
+
+let find_entity t name = Hashtbl.find_opt t.by_name name
+
+let find_entity_exn t name =
+  match find_entity t name with Some e -> e | None -> raise Not_found
+
+let same_site t x y = t.sites.(x) = t.sites.(y)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun si sname ->
+      Format.fprintf ppf "site %s {%a }@," sname
+        (fun ppf ents ->
+          List.iter (fun e -> Format.fprintf ppf " %s" t.entity_names.(e)) ents)
+        (entities_of_site t si))
+    t.site_names;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,12 @@
+type op = Lock | Unlock
+type t = { entity : Db.entity; op : op }
+
+let lock entity = { entity; op = Lock }
+let unlock entity = { entity; op = Unlock }
+let equal a b = a = b
+let compare = compare
+
+let to_string db t =
+  (match t.op with Lock -> "L" | Unlock -> "U") ^ Db.entity_name db t.entity
+
+let pp db ppf t = Format.pp_print_string ppf (to_string db t)

@@ -1,0 +1,19 @@
+(** Lock/Unlock operations.
+
+    Following §2 of the paper, action steps are omitted: safety and
+    deadlock-freedom depend only on the Lock/Unlock steps and their
+    precedence. *)
+
+type op = Lock | Unlock
+
+type t = { entity : Db.entity; op : op }
+
+val lock : Db.entity -> t
+val unlock : Db.entity -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** ["Lx"] or ["Ux"] given the schema for the entity name. *)
+val to_string : Db.t -> t -> string
+
+val pp : Db.t -> Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+open Ddlock_graph
+
+type result = { db : Db.t; named : (string * Transaction.t) list }
+type error = { line : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d: %s" e.line e.message
+
+type token = Ident of string | Lbrace | Rbrace | Less | Semi | Kw_site | Kw_txn
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Tokenizer: identifiers are runs of [A-Za-z0-9_.'-]; punctuation is
+   { } < ; and # starts a comment. *)
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '\'' || c = '-'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' then begin
+      toks := (Lbrace, !line) :: !toks;
+      incr i
+    end
+    else if c = '}' then begin
+      toks := (Rbrace, !line) :: !toks;
+      incr i
+    end
+    else if c = '<' then begin
+      toks := (Less, !line) :: !toks;
+      incr i
+    end
+    else if c = ';' then begin
+      toks := (Semi, !line) :: !toks;
+      incr i
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      let tok =
+        match s with
+        | "site" -> Kw_site
+        | "txn" -> Kw_txn
+        | _ -> Ident s
+      in
+      toks := (tok, !line) :: !toks
+    end
+    else fail !line "unexpected character %C" c
+  done;
+  List.rev !toks
+
+type chain_step = Builder.step
+
+let parse src =
+  try
+    let toks = ref (tokenize src) in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let cur_line () = match !toks with [] -> 0 | (_, l) :: _ -> l in
+    let next () =
+      match !toks with
+      | [] -> fail 0 "unexpected end of input"
+      | t :: rest ->
+          toks := rest;
+          t
+    in
+    let expect what p =
+      let tok, line = next () in
+      if not (p tok) then fail line "expected %s" what
+    in
+    let ident what =
+      match next () with
+      | Ident s, _ -> s
+      | _, line -> fail line "expected %s" what
+    in
+    (* Phase 1: sites. *)
+    let sites = ref [] in
+    let rec parse_sites () =
+      match peek () with
+      | Some (Kw_site, _) ->
+          ignore (next ());
+          let name = ident "site name" in
+          expect "'{'" (fun t -> t = Lbrace);
+          let ents = ref [] in
+          let rec ents_loop () =
+            match next () with
+            | Rbrace, _ -> ()
+            | Ident e, _ ->
+                ents := e :: !ents;
+                ents_loop ()
+            | _, line -> fail line "expected entity name or '}'"
+          in
+          ents_loop ();
+          sites := (name, List.rev !ents) :: !sites;
+          parse_sites ()
+      | _ -> ()
+    in
+    parse_sites ();
+    if !sites = [] then fail (cur_line ()) "no site declarations";
+    let db =
+      try Db.create (List.rev !sites)
+      with Invalid_argument m -> fail 0 "%s" m
+    in
+    (* Phase 2: transactions. *)
+    let named = ref [] in
+    let parse_step () =
+      let s = ident "step (L or U)" in
+      let line = cur_line () in
+      let e = ident "entity name" in
+      if Db.find_entity db e = None then fail line "unknown entity %S" e;
+      match s with
+      | "L" -> (Builder.L e : chain_step)
+      | "U" -> Builder.U e
+      | _ -> fail line "expected L or U, got %S" s
+    in
+    let rec parse_txns () =
+      match peek () with
+      | None -> ()
+      | Some (Kw_txn, _) ->
+          ignore (next ());
+          let name = ident "transaction name" in
+          expect "'{'" (fun t -> t = Lbrace);
+          let chains = ref [] in
+          let rec stmts () =
+            match peek () with
+            | Some (Rbrace, _) -> ignore (next ())
+            | Some _ ->
+                let chain = ref [ parse_step () ] in
+                let rec links () =
+                  match peek () with
+                  | Some (Less, _) ->
+                      ignore (next ());
+                      chain := parse_step () :: !chain;
+                      links ()
+                  | _ -> expect "';'" (fun t -> t = Semi)
+                in
+                links ();
+                chains := List.rev !chain :: !chains;
+                stmts ()
+            | None -> fail 0 "unexpected end of input in txn block"
+          in
+          stmts ();
+          (match Builder.transaction db ~chains:(List.rev !chains) () with
+          | Ok t -> named := (name, t) :: !named
+          | Error es ->
+              fail 0 "invalid transaction %s: %s" name
+                (String.concat "; "
+                   (List.map (Transaction.error_to_string db) es)));
+          parse_txns ()
+      | Some (_, line) -> fail line "expected 'txn'"
+    in
+    parse_txns ();
+    if !named = [] then fail 0 "no transactions declared";
+    Ok { db; named = List.rev !named }
+  with Parse_error e -> Error e
+
+let parse_exn src =
+  match parse src with
+  | Ok r -> r
+  | Error e -> invalid_arg (Format.asprintf "Parser.parse_exn: %a" pp_error e)
+
+let system_of_result r = System.create (List.map snd r.named)
+
+let to_source db named =
+  let buf = Buffer.create 256 in
+  for s = 0 to Db.site_count db - 1 do
+    Buffer.add_string buf ("site " ^ Db.site_name db s ^ " {");
+    List.iter
+      (fun e -> Buffer.add_string buf (" " ^ Db.entity_name db e))
+      (Db.entities_of_site db s);
+    Buffer.add_string buf " }\n"
+  done;
+  List.iter
+    (fun (name, t) ->
+      Buffer.add_string buf ("txn " ^ name ^ " {\n");
+      let step_str u =
+        let nd = Transaction.node t u in
+        (match nd.Node.op with Node.Lock -> "L " | Node.Unlock -> "U ")
+        ^ Db.entity_name db nd.Node.entity
+      in
+      List.iter
+        (fun (u, v) ->
+          Buffer.add_string buf
+            ("  " ^ step_str u ^ " < " ^ step_str v ^ ";\n"))
+        (Digraph.edges (Transaction.hasse t));
+      (* Isolated entities (both nodes unconnected to anything else) still
+         need a mention; the L < U arc is always in the Hasse diagram, so
+         nothing extra is required. *)
+      Buffer.add_string buf "}\n")
+    named;
+  Buffer.contents buf

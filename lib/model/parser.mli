@@ -1,0 +1,37 @@
+(** Textual format for distributed transaction systems.
+
+    {v
+    # comment until end of line
+    site s1 { x y }
+    site s2 { z }
+
+    txn T1 {
+      L x < U x;
+      L x < L y < U y;
+    }
+    txn T2 { ... }
+    v}
+
+    Sites must be declared before transactions.  Within a [txn] block each
+    statement is a chain of steps [L e] / [U e] joined by [<], contributing
+    precedence arcs between consecutive steps; the implicit arc
+    [L e < U e] is added for every mentioned entity, and both nodes are
+    created even when only one is written. *)
+
+type result = { db : Db.t; named : (string * Transaction.t) list }
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Parse a full source text. *)
+val parse : string -> (result, error) Stdlib.result
+
+val parse_exn : string -> result
+
+(** [system_of_result r] builds the system in declaration order. *)
+val system_of_result : result -> System.t
+
+(** Render a schema + named transactions back to parseable source
+    (Hasse-diagram chains). *)
+val to_source : Db.t -> (string * Transaction.t) list -> string

@@ -1,0 +1,33 @@
+open Ddlock_graph
+
+(** Transaction systems: a finite set of transactions over one schema. *)
+
+type t
+
+(** [create txns] — all transactions must share the same schema (physical
+    equality of [Db.t]); raises [Invalid_argument] otherwise or on empty
+    input. *)
+val create : Transaction.t list -> t
+
+(** [copies t k] is the system of [k] copies of [t]. *)
+val copies : Transaction.t -> int -> t
+
+val db : t -> Db.t
+val size : t -> int
+val txn : t -> int -> Transaction.t
+val txns : t -> Transaction.t array
+
+(** Entities accessed by both transactions [i] and [j] — "R" of Theorem 3. *)
+val common_entities : t -> int -> int -> Bitset.t
+
+(** Interaction graph G(A) (§5): transactions as nodes, an edge whenever
+    two transactions share an entity. *)
+val interaction_graph : t -> Ungraph.t
+
+(** Entities accessed by at least one transaction. *)
+val accessed_entities : t -> Bitset.t
+
+(** Total number of nodes across all transactions. *)
+val total_nodes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+open Ddlock_graph
+
+(** Distributed locked transactions (paper, §2).
+
+    A transaction is a partial order of Lock/Unlock nodes such that
+
+    - for each accessed entity there is exactly one Lock and one Unlock
+      node, with Lock preceding Unlock;
+    - nodes whose entities reside at the same site are totally ordered.
+
+    Construction validates both conditions plus acyclicity, and caches the
+    strict transitive closure of the precedence relation so that
+    [precedes] is O(1) — the "transitively closed form" assumed by the
+    paper's O(n²) bounds.
+
+    A {e prefix} of a transaction is a downward-closed set of its nodes,
+    represented as a {!Ddlock_graph.Bitset.t} over node ids. *)
+
+type error =
+  | Cyclic of int list  (** precedence arcs contain this cycle *)
+  | Duplicate_op of Db.entity * Node.op
+  | Missing_lock of Db.entity
+  | Missing_unlock of Db.entity
+  | Unlock_before_lock of Db.entity
+  | Site_unordered of int * int
+      (** two same-site nodes that the partial order leaves incomparable *)
+
+val pp_error : Db.t -> Format.formatter -> error -> unit
+val error_to_string : Db.t -> error -> string
+
+type t
+
+(** [make db nodes arcs] validates and builds a transaction whose node
+    ids are the indices of [nodes] and whose precedence is the transitive
+    closure of [arcs]. *)
+val make : Db.t -> Node.t array -> (int * int) list -> (t, error list) result
+
+(** [make_exn] raises [Invalid_argument] with a rendered error list. *)
+val make_exn : Db.t -> Node.t array -> (int * int) list -> t
+
+val db : t -> Db.t
+val node_count : t -> int
+
+(** The node labelling.  Do not mutate. *)
+val nodes : t -> Node.t array
+
+val node : t -> int -> Node.t
+
+(** The precedence arcs as given (before closure). *)
+val given_arcs : t -> Digraph.t
+
+(** Hasse diagram (transitive reduction) of the partial order. *)
+val hasse : t -> Digraph.t
+
+(** Strict precedence: [precedes t u v] iff node [u] < node [v]. O(1). *)
+val precedes : t -> int -> int -> bool
+
+(** [lock_node t x] is the id of node [Lx], if [x] is accessed. *)
+val lock_node : t -> Db.entity -> int option
+
+val unlock_node : t -> Db.entity -> int option
+val lock_node_exn : t -> Db.entity -> int
+val unlock_node_exn : t -> Db.entity -> int
+val accesses : t -> Db.entity -> bool
+
+(** Accessed entities R(T) as a bitset over entity ids. *)
+val entity_set : t -> Bitset.t
+
+(** Accessed entities, ascending. *)
+val entities : t -> Db.entity list
+
+(** {1 The paper's R/L sets (§5)} *)
+
+(** [r_set t s] — entities [z] whose Lock strictly precedes node [s]. *)
+val r_set : t -> int -> Bitset.t
+
+(** [l_set t s] — entities [z ≠ entity(s)] with [s ≺ Uz] and not
+    [s ≺ Lz]: held-but-not-yet-unlocked right before [s] in an extension
+    scheduling after [s] only its successors. *)
+val l_set : t -> int -> Bitset.t
+
+(** {1 Prefixes} *)
+
+(** The empty prefix. *)
+val empty_prefix : t -> Bitset.t
+
+(** The complete prefix (all nodes). *)
+val full_prefix : t -> Bitset.t
+
+(** [is_prefix t s] iff [s] is downward-closed under the precedence. *)
+val is_prefix : t -> Bitset.t -> bool
+
+(** [down_closure t ns] is the least prefix containing the nodes [ns]. *)
+val down_closure : t -> int list -> Bitset.t
+
+(** Nodes not in the prefix all of whose predecessors are in the prefix —
+    the candidates for execution next. *)
+val minimal_remaining : t -> Bitset.t -> int list
+
+(** All prefixes (downward-closed sets).  Exponential; small inputs only. *)
+val prefixes : t -> Bitset.t Seq.t
+
+(** Entities locked in the prefix — R(T′) of §5 ([Ly] in the prefix). *)
+val locked_in_prefix : t -> Bitset.t -> Bitset.t
+
+(** Entities locked but not unlocked in the prefix ("held"). *)
+val held_in_prefix : t -> Bitset.t -> Bitset.t
+
+(** Y(T′) of §5: accessed entities whose Unlock is not in the prefix
+    (equivalently, entities mentioned by the remaining steps). *)
+val y_set : t -> Bitset.t -> Bitset.t
+
+(** [max_prefix_avoiding t ys] is the unique maximal prefix T* that locks
+    no entity of [ys]: drop each [Ly], y ∈ ys, and its successors (§5). *)
+val max_prefix_avoiding : t -> Bitset.t -> Bitset.t
+
+(** {1 Linear extensions} *)
+
+(** All total orders compatible with the partial order ("t ∈ T"). *)
+val linear_extensions : t -> int list Seq.t
+
+val count_linear_extensions : t -> int
+val random_linear_extension : Random.State.t -> t -> int list
+
+(** [of_total_order db steps] builds a centralized-style transaction from
+    an explicit sequence of nodes (arcs chain consecutive steps). *)
+val of_total_order : Db.t -> Node.t list -> (t, error list) result
+
+(** [restrict_to_prefix t p] is the sub-partial-order induced by prefix
+    [p] as a digraph over the original node ids (arcs of the Hasse
+    diagram between prefix nodes). *)
+val restrict_to_prefix : t -> Bitset.t -> Digraph.t
+
+(** Two-phase-locked check: no Lock follows an Unlock (no [Ux ≺ Ly]). *)
+val is_two_phase : t -> bool
+
+(** [drop_entity t x] — remove the Lock/Unlock nodes of [x], keeping the
+    partial order induced on the remaining nodes.  No-op if [x] is not
+    accessed. *)
+val drop_entity : t -> Db.entity -> t
+
+(** Human-readable rendering (Hasse arcs, grouped). *)
+val pp : Format.formatter -> t -> unit
+
+(** Equality of labelled partial orders: same (entity, op) node labels
+    and the same precedence between them, regardless of node numbering. *)
+val equal : t -> t -> bool

@@ -1,0 +1,165 @@
+open Ddlock_graph
+open Ddlock_model
+
+type mode = Read | Write
+type op = Lock of mode | Unlock
+type node = { entity : Db.entity; op : op }
+
+let node_to_string db n =
+  (match n.op with
+  | Lock Read -> "R"
+  | Lock Write -> "W"
+  | Unlock -> "U")
+  ^ Db.entity_name db n.entity
+
+type error =
+  | Cyclic
+  | Bad_entity_ops of Db.entity
+  | Unlock_before_lock of Db.entity
+  | Site_unordered of int * int
+
+let pp_error db ppf = function
+  | Cyclic -> Format.fprintf ppf "precedence arcs are cyclic"
+  | Bad_entity_ops e ->
+      Format.fprintf ppf "entity %s must have exactly one Lock and one Unlock"
+        (Db.entity_name db e)
+  | Unlock_before_lock e ->
+      Format.fprintf ppf "entity %s unlocked before locked" (Db.entity_name db e)
+  | Site_unordered (u, v) ->
+      Format.fprintf ppf "same-site nodes %d and %d are incomparable" u v
+
+type t = {
+  db : Db.t;
+  labels : node array;
+  arcs : Digraph.t;
+  closure : Closure.t;
+  lock_of : int array;
+  unlock_of : int array;
+  mode_of : mode array; (* per entity; meaningful when accessed *)
+  entity_set : Bitset.t;
+}
+
+let make db labels arc_list =
+  let n = Array.length labels in
+  let ne = Db.entity_count db in
+  let arcs = Digraph.create n arc_list in
+  if not (Topo.is_acyclic arcs) then Error [ Cyclic ]
+  else begin
+    let closure = Closure.closure arcs in
+    let errors = ref [] in
+    let lock_of = Array.make ne (-1)
+    and unlock_of = Array.make ne (-1)
+    and modes = Array.make ne Read
+    and lock_count = Array.make ne 0
+    and unlock_count = Array.make ne 0 in
+    Array.iteri
+      (fun i nd ->
+        match nd.op with
+        | Lock m ->
+            lock_of.(nd.entity) <- i;
+            modes.(nd.entity) <- m;
+            lock_count.(nd.entity) <- lock_count.(nd.entity) + 1
+        | Unlock ->
+            unlock_of.(nd.entity) <- i;
+            unlock_count.(nd.entity) <- unlock_count.(nd.entity) + 1)
+      labels;
+    let entity_set = Bitset.create ne in
+    for e = 0 to ne - 1 do
+      match (lock_count.(e), unlock_count.(e)) with
+      | 0, 0 -> ()
+      | 1, 1 ->
+          Bitset.set entity_set e;
+          if not (Bitset.mem closure.(lock_of.(e)) unlock_of.(e)) then
+            errors := Unlock_before_lock e :: !errors
+      | _ -> errors := Bad_entity_ops e :: !errors
+    done;
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if
+          Db.same_site db labels.(u).entity labels.(v).entity
+          && (not (Bitset.mem closure.(u) v))
+          && not (Bitset.mem closure.(v) u)
+        then errors := Site_unordered (u, v) :: !errors
+      done
+    done;
+    match !errors with
+    | [] ->
+        Ok
+          {
+            db;
+            labels;
+            arcs;
+            closure;
+            lock_of;
+            unlock_of;
+            mode_of = modes;
+            entity_set;
+          }
+    | es -> Error (List.rev es)
+  end
+
+let make_exn db labels arc_list =
+  match make db labels arc_list with
+  | Ok t -> t
+  | Error es ->
+      invalid_arg
+        ("Rw_txn.make_exn: "
+        ^ String.concat "; "
+            (List.map (fun e -> Format.asprintf "%a" (pp_error db) e) es))
+
+let of_total_order db steps =
+  let labels = Array.of_list steps in
+  make db labels
+    (List.init (max 0 (Array.length labels - 1)) (fun i -> (i, i + 1)))
+
+let db t = t.db
+let node_count t = Array.length t.labels
+let node t i = t.labels.(i)
+let precedes t u v = Bitset.mem t.closure.(u) v
+let arcs t = t.arcs
+let entity_set t = t.entity_set
+let entities t = Bitset.to_list t.entity_set
+let accesses t e = Bitset.mem t.entity_set e
+let mode_of t e = t.mode_of.(e)
+let lock_node_exn t e = if t.lock_of.(e) >= 0 then t.lock_of.(e) else raise Not_found
+let unlock_node_exn t e =
+  if t.unlock_of.(e) >= 0 then t.unlock_of.(e) else raise Not_found
+
+let minimal_remaining t p =
+  List.filter
+    (fun u ->
+      (not (Bitset.mem p u))
+      && Array.for_all (Bitset.mem p) (Digraph.pred t.arcs u))
+    (List.init (node_count t) Fun.id)
+
+let empty_prefix t = Bitset.create (node_count t)
+
+let to_exclusive t =
+  let labels =
+    Array.map
+      (fun nd ->
+        match nd.op with
+        | Lock _ -> Ddlock_model.Node.lock nd.entity
+        | Unlock -> Ddlock_model.Node.unlock nd.entity)
+      t.labels
+  in
+  Transaction.make_exn t.db labels (Digraph.edges t.arcs)
+
+let is_two_phase t =
+  not
+    (Bitset.exists
+       (fun x ->
+         Bitset.exists
+           (fun y -> precedes t t.unlock_of.(x) t.lock_of.(y))
+           t.entity_set)
+       t.entity_set)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rw-txn (%d nodes)" (node_count t);
+  List.iter
+    (fun (u, v) ->
+      Format.fprintf ppf "@,%s < %s"
+        (node_to_string t.db t.labels.(u))
+        (node_to_string t.db t.labels.(v)))
+    (Digraph.edges (Closure.reduction t.arcs));
+  Format.fprintf ppf "@]"

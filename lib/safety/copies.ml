@@ -1,0 +1,62 @@
+open Ddlock_graph
+open Ddlock_model
+
+type failure = No_first_lock | Unguarded of Db.entity
+
+let pp_failure db ppf = function
+  | No_first_lock ->
+      Format.fprintf ppf "no entity is locked before all other nodes"
+  | Unguarded y ->
+      Format.fprintf ppf
+        "entity %s has no guard z with Lz ≺ L%s ≺ Uz"
+        (Db.entity_name db y) (Db.entity_name db y)
+
+let check t =
+  let ents = Transaction.entity_set t in
+  if Bitset.is_empty ents then Ok ()
+  else
+    let n = Transaction.node_count t in
+    let first =
+      Bitset.fold
+        (fun x acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              let lx = Transaction.lock_node_exn t x in
+              let all_after = ref true in
+              for u = 0 to n - 1 do
+                if u <> lx && not (Transaction.precedes t lx u) then
+                  all_after := false
+              done;
+              if !all_after then Some x else None)
+        ents None
+    in
+    match first with
+    | None -> Error No_first_lock
+    | Some x ->
+        let bad =
+          Bitset.fold
+            (fun y acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if y = x then None
+                  else
+                    let ly = Transaction.lock_node_exn t y in
+                    let guarded =
+                      Bitset.exists
+                        (fun z ->
+                          z <> y
+                          && Transaction.precedes t
+                               (Transaction.lock_node_exn t z)
+                               ly
+                          && Transaction.precedes t ly
+                               (Transaction.unlock_node_exn t z))
+                        ents
+                    in
+                    if guarded then None else Some (Unguarded y))
+            ents None
+        in
+        (match bad with None -> Ok () | Some f -> Error f)
+
+let safe_and_deadlock_free t = Result.is_ok (check t)

@@ -1,0 +1,22 @@
+open Ddlock_model
+
+(** Corollary 3 and Theorem 5: systems of identical copies.
+
+    Two copies of T are safe ∧ deadlock-free iff some entity [x] is locked
+    before everything else and every other entity's Lock is guarded by an
+    entity held across it; and then (Theorem 5) ANY number of copies is
+    safe ∧ deadlock-free.  (False for deadlock-freedom alone — Fig. 6.) *)
+
+type failure =
+  | No_first_lock  (** no [Lx] preceding all other nodes *)
+  | Unguarded of Db.entity
+      (** no [z] with [Lz ≺ Ly] and [Ly ≺ Uz] for this [y] *)
+
+val pp_failure : Db.t -> Format.formatter -> failure -> unit
+
+(** The Corollary 3 criterion on a single transaction. *)
+val check : Transaction.t -> (unit, failure) result
+
+(** [safe_and_deadlock_free t] iff any number (>= 2) of copies of [t] is
+    safe ∧ deadlock-free (Theorem 5). *)
+val safe_and_deadlock_free : Transaction.t -> bool

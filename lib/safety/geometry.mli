@@ -1,0 +1,48 @@
+open Ddlock_model
+
+(** The geometric technique for two {e centralized} transactions
+    (Lipski & Papadimitriou [LP]; Soisalon-Soininen & Wood [SW] — the
+    O(n log n) line of work the paper's introduction surveys).
+
+    Embed the pair into the integer grid: position [(i, j)] means "t₁ has
+    executed its first [i] steps and t₂ its first [j]".  A point is
+    {e forbidden} when both transactions hold a common entity there — the
+    union of one rectangle
+
+    {v  (pos₁ Lx , pos₁ Ux] × (pos₂ Lx , pos₂ Ux]  v}
+
+    per common entity [x].  Legal schedules are exactly the monotone
+    staircase paths from the origin to the top-right corner through free
+    points.  Then:
+
+    - the pair {e deadlocks} iff some reachable free point has both its
+      right and its upper neighbour forbidden (a trapped corner);
+    - a schedule is {e non-serializable} iff its path passes below-right
+      of some entity's rectangle and above-left of another's, so the pair
+      is {e unsafe} iff a free monotone path connects the origin, a
+      below-right corner region of some [x], an above-left region of some
+      [y], and the final corner (in either order of [x], [y]).
+
+    Both deciders run in time polynomial in the grid (O(n²) for the
+    deadlock test, O(m·n²) for safety with [m] common entities).  We use
+    these as an independent implementation of the centralized case: the
+    test suite cross-validates them against the exhaustive explorer and
+    against Lemma 2 (for the conjunction). *)
+
+(** [grid t1 t2] — dimensions [(n1+1) × (n2+1)] with [true] = forbidden.
+    Both transactions must be total orders over the same schema. *)
+val grid : Transaction.t -> Transaction.t -> bool array array
+
+(** Deadlock-freedom alone, geometrically. *)
+val deadlock_free : Transaction.t -> Transaction.t -> bool
+
+(** A trapped corner reachable from the origin, if any, as the pair of
+    executed-step counts [(i, j)]. *)
+val find_deadlock_point : Transaction.t -> Transaction.t -> (int * int) option
+
+(** Safety alone, geometrically. *)
+val safe : Transaction.t -> Transaction.t -> bool
+
+(** [safe_and_deadlock_free t1 t2] — the conjunction; equals
+    {!Lemma2.safe_and_deadlock_free} on every input (property-tested). *)
+val safe_and_deadlock_free : Transaction.t -> Transaction.t -> bool

@@ -1,0 +1,22 @@
+open Ddlock_model
+
+(** Lemma 2 ([Y2], Theorem 2): safety ∧ deadlock-freedom of a pair of
+    {e centralized} transactions (total orders).
+
+    Implemented positionally (by scanning the sequences), independently of
+    the Theorem 3 code, so the two can cross-validate on total orders. *)
+
+(** [is_total t] iff the partial order of [t] is a total order. *)
+val is_total : Transaction.t -> bool
+
+type failure =
+  | Different_first of { first1 : Db.entity; first2 : Db.entity }
+  | Unguarded of { y : Db.entity; in_txn : int }
+
+val pp_failure : Db.t -> Format.formatter -> failure -> unit
+
+(** [check t1 t2] — both must satisfy {!is_total} ([Invalid_argument]
+    otherwise). *)
+val check : Transaction.t -> Transaction.t -> (unit, failure) result
+
+val safe_and_deadlock_free : Transaction.t -> Transaction.t -> bool

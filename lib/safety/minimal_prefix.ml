@@ -1,0 +1,50 @@
+open Ddlock_graph
+open Ddlock_model
+
+let minimal_prefix t1 t2 y =
+  let ly1 = Transaction.lock_node_exn t1 y in
+  let ly2 = Transaction.lock_node_exn t2 y in
+  (* R_T2(Ly): entities locked strictly before Ly in T2. *)
+  let r2 = Transaction.r_set t2 ly2 in
+  (* Step 1: all strict predecessors of Ly in T1. *)
+  let v =
+    Transaction.down_closure t1
+      (List.filter
+         (fun u -> u <> ly1 && Transaction.precedes t1 u ly1)
+         (List.init (Transaction.node_count t1) Fun.id))
+  in
+  (* Step 2: close under "Lz in V implies Uz in V" for z in R_T2(Ly). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Bitset.iter
+      (fun z ->
+        if Transaction.accesses t1 z then begin
+          let lz = Transaction.lock_node_exn t1 z in
+          let uz = Transaction.unlock_node_exn t1 z in
+          if Bitset.mem v lz && not (Bitset.mem v uz) then begin
+            Bitset.union_into ~into:v (Transaction.down_closure t1 [ uz ]);
+            changed := true
+          end
+        end)
+      r2
+  done;
+  v
+
+let violates t1 t2 y =
+  let ly1 = Transaction.lock_node_exn t1 y in
+  not (Bitset.mem (minimal_prefix t1 t2 y) ly1)
+
+let safe_and_deadlock_free t1 t2 =
+  let r =
+    Bitset.inter (Transaction.entity_set t1) (Transaction.entity_set t2)
+  in
+  if Bitset.is_empty r then true
+  else
+    match Pair.common_first t1 t2 with
+    | None -> false
+    | Some x ->
+        not
+          (Bitset.exists
+             (fun y -> y <> x && (violates t1 t2 y || violates t2 t1 y))
+             r)

@@ -1,0 +1,30 @@
+open Ddlock_graph
+open Ddlock_model
+
+(** The O(n³) minimal-prefix algorithm of §5 — the slower alternative the
+    paper describes before sharpening it into Theorem 3.  Kept as an
+    independently-derived decider and as the ablation baseline for the
+    E8 bench.
+
+    For a fixed common entity [y], the condition
+    "for all t₁ ∈ T₁: L_t₁(Ly) ∩ R_t₂(Ly) ≠ ∅ (with t₂ executing before
+    Ly only its T₂-predecessors)" is violated iff the unique minimal
+    prefix V₁ of T₁ satisfying
+
+    - V₁ contains all predecessors of Ly in T₁, and
+    - for each z ∈ R_T₂(Ly): Lz ∈ V₁ implies Uz ∈ V₁
+
+    does not contain Ly. *)
+
+(** [minimal_prefix t1 t2 y] computes the prefix V₁ described above (a
+    node set of [t1]).  Requires both transactions to access [y]. *)
+val minimal_prefix : Transaction.t -> Transaction.t -> Db.entity -> Bitset.t
+
+(** [violates t1 t2 y] iff the minimal prefix avoids [Ly] — i.e. some
+    extension pair violates Q₁(y) ≠ ∅ with the guard on the [t1] side. *)
+val violates : Transaction.t -> Transaction.t -> Db.entity -> bool
+
+(** Full decider: condition 1 as in {!Pair.common_first}, then the
+    minimal-prefix check of every other common entity in both directions.
+    Agrees with {!Pair.check} (property-tested). *)
+val safe_and_deadlock_free : Transaction.t -> Transaction.t -> bool

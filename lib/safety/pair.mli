@@ -1,0 +1,38 @@
+open Ddlock_graph
+open Ddlock_model
+
+(** Theorem 3: the O(n²) safety ∧ deadlock-freedom test for a pair of
+    distributed transactions.
+
+    {T₁, T₂} is safe ∧ deadlock-free iff
+    + there is a common entity [x] such that [Lx] precedes [Ly] in both
+      transactions for every other common entity [y], and
+    + for every other common entity [y],
+      [L_T₁(Ly) ∩ R_T₂(Ly) ≠ ∅] and [L_T₂(Ly) ∩ R_T₁(Ly) ≠ ∅]. *)
+
+type failure =
+  | No_common_first of { first1 : Db.entity; first2 : Db.entity }
+      (** condition 1 fails: extensions can lock [first1] / [first2]
+          (distinct minimal common entities) first *)
+  | Unguarded of { y : Db.entity; in_txn : int }
+      (** condition 2 fails at [y]: [L_Tᵢ(Ly) ∩ R_Tⱼ(Ly) = ∅] where
+          [i = in_txn] (0 or 1) and [j] is the other *)
+
+val pp_failure : Db.t -> Format.formatter -> failure -> unit
+
+(** [common_first t1 t2] is the entity [x] of condition 1 if it exists
+    (unique when it does).  [None] when there is no common entity, or no
+    such [x].  Use {!has_common} to distinguish. *)
+val common_first : Transaction.t -> Transaction.t -> Db.entity option
+
+val has_common : Transaction.t -> Transaction.t -> bool
+
+(** The full Theorem 3 test. *)
+val check : Transaction.t -> Transaction.t -> (unit, failure) result
+
+val safe_and_deadlock_free : Transaction.t -> Transaction.t -> bool
+
+(** Condition-2 building blocks, exposed for the benches and the
+    minimal-prefix variant: [guard t other y] is
+    [L_t(Ly) ∩ R_other(Ly)]. *)
+val guard : Transaction.t -> Transaction.t -> Db.entity -> Bitset.t

@@ -1,0 +1,65 @@
+open Ddlock_graph
+open Ddlock_model
+
+(** Classic safe locking policies, as referenced throughout the paper
+    ([EGLT] two-phase locking, [SK] tree locking).  The paper's closing
+    remark (§6) is that transactions are usually locked by {e some} safe
+    policy, and then deadlock-freedom is the remaining question — these
+    checkers identify that situation. *)
+
+(** {1 Two-phase locking} *)
+
+(** Pairs [(x, y)] with [Ux ≺ Ly]: each one violates 2PL. *)
+val two_phase_violations : Transaction.t -> (Db.entity * Db.entity) list
+
+val is_two_phase : Transaction.t -> bool
+
+(** [make_two_phase t] — for a total order: keep the Lock steps in place
+    (relative order preserved) and move every Unlock after the last
+    Lock, preserving the Unlocks' relative order.  The result is 2PL and
+    accesses the same entities.  Raises [Invalid_argument] on
+    non-total-order input. *)
+val make_two_phase : Transaction.t -> Transaction.t
+
+(** {1 Tree (hierarchical) locking [SK]}
+
+    Entities are arranged in a rooted tree.  A total-order transaction
+    obeys the protocol iff: its first Lock is arbitrary; every later
+    Lock's parent entity is locked-and-not-yet-unlocked at that moment;
+    and no entity is locked twice (guaranteed by the model).  Tree-locked
+    transactions are serializable {e and} deadlock-free even without
+    being two-phase. *)
+
+module Tree : sig
+  type t
+
+  (** [create db ~root ~edges] — [edges] are (parent, child) entity-name
+      pairs; every entity of [db] must appear exactly once as a child or
+      be the root.  Raises [Invalid_argument] on forests/cycles. *)
+  val create : Db.t -> root:string -> edges:(string * string) list -> t
+
+  val root : t -> Db.entity
+  val parent : t -> Db.entity -> Db.entity option
+
+  type violation =
+    | Parent_not_held of { child : Db.entity }
+        (** some Lock's parent is not held at that point *)
+    | Not_total_order
+
+  val pp_violation : Db.t -> Format.formatter -> violation -> unit
+
+  (** [obeys tree t] — protocol check for a total-order transaction that
+      only accesses entities of the tree. *)
+  val obeys : t -> Transaction.t -> (unit, violation) result
+
+  (** [random_transaction rng tree ~steps] — a random protocol-obeying
+      total order: start by locking a random entity, then repeatedly
+      either lock an unlocked child of a held entity or unlock a held
+      entity, for about [steps] lock operations; finally unlock
+      everything still held. *)
+  val random_transaction :
+    Random.State.t -> t -> steps:int -> Transaction.t
+
+  (** The tree as a digraph over entity ids (for rendering). *)
+  val to_digraph : t -> Digraph.t
+end

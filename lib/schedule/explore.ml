@@ -1,0 +1,222 @@
+open Ddlock_graph
+open Ddlock_model
+
+exception Too_large of int
+
+type entry = { state : State.t; parent : string option; via : Step.t option }
+type space = { sys : System.t; table : (string, entry) Hashtbl.t }
+
+let default_cap = 2_000_000
+
+let explore ?(max_states = default_cap) sys =
+  let table = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  let init = State.initial sys in
+  Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
+  Queue.push init q;
+  while not (Queue.is_empty q) do
+    let st = Queue.pop q in
+    let k = State.key st in
+    List.iter
+      (fun step ->
+        let st' = State.apply st step in
+        let k' = State.key st' in
+        if not (Hashtbl.mem table k') then begin
+          if Hashtbl.length table >= max_states then
+            raise (Too_large (Hashtbl.length table));
+          Hashtbl.replace table k'
+            { state = st'; parent = Some k; via = Some step };
+          Queue.push st' q
+        end)
+      (State.enabled sys st)
+  done;
+  { sys; table }
+
+let system sp = sp.sys
+let state_count sp = Hashtbl.length sp.table
+let states sp = Seq.map (fun (_, e) -> e.state) (Hashtbl.to_seq sp.table)
+let is_reachable sp st = Hashtbl.mem sp.table (State.key st)
+
+let path_to sp key =
+  let rec go key acc =
+    match Hashtbl.find_opt sp.table key with
+    | None -> None
+    | Some { parent = None; _ } -> Some acc
+    | Some { parent = Some p; via = Some s; _ } -> go p (s :: acc)
+    | Some { parent = Some _; via = None; _ } -> assert false
+  in
+  go key []
+
+let schedule_to sp st = path_to sp (State.key st)
+
+(* Breadth-first search with a found predicate, shared by the deadlock and
+   targeted searches. *)
+let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
+  let table = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  let init = State.initial sys in
+  Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
+  let sp = { sys; table } in
+  if found init then Some (Option.get (path_to sp (State.key init)), init)
+  else begin
+    Queue.push init q;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty q) do
+         let st = Queue.pop q in
+         let k = State.key st in
+         List.iter
+           (fun step ->
+             let st' = State.apply st step in
+             if restrict st' then begin
+               let k' = State.key st' in
+               if not (Hashtbl.mem table k') then begin
+                 if Hashtbl.length table >= max_states then
+                   raise (Too_large (Hashtbl.length table));
+                 Hashtbl.replace table k'
+                   { state = st'; parent = Some k; via = Some step };
+                 if found st' then begin
+                   result := Some (Option.get (path_to sp k'), st');
+                   raise Exit
+                 end;
+                 Queue.push st' q
+               end
+             end)
+           (State.enabled sys st)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let find_deadlock ?max_states sys =
+  bfs ?max_states sys ~found:(fun st -> State.is_deadlock sys st)
+
+let deadlock_free ?max_states sys = find_deadlock ?max_states sys = None
+
+type counterexample = { steps : Step.t list; cycle : int list }
+
+(* Extended state: prefix vector plus the accumulated D-arcs (a monotone
+   function of the executed lock steps and their order). *)
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let edges_key es =
+  String.concat ";"
+    (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) (Edge_set.elements es))
+
+let d_arcs_of_step sys st (step : Step.t) =
+  let tx = System.txn sys step.txn in
+  let nd = Transaction.node tx step.node in
+  match nd.Node.op with
+  | Node.Unlock -> []
+  | Node.Lock ->
+      Dgraph.arcs_added_by_lock sys
+        ~locked_before:(fun k ->
+          let tk = System.txn sys k in
+          match Transaction.lock_node tk nd.entity with
+          | None -> false
+          | Some l -> Bitset.mem st.(k) l)
+        step.txn nd.entity
+
+let edge_graph n es = Digraph.create n (Edge_set.elements es)
+
+let lemma1_search ?(max_states = default_cap) sys ~report =
+  (* report: `All_cyclic  -> stop on the first cyclic-D extended state
+             `Complete_cyclic -> stop on cyclic D at a complete state *)
+  let n = System.size sys in
+  let table : (string, Step.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  let init = State.initial sys in
+  let key st es = State.key st ^ "#" ^ edges_key es in
+  Hashtbl.replace table (key init Edge_set.empty) [];
+  Queue.push (init, Edge_set.empty, []) q;
+  let result = ref None in
+  let check st es rev_steps =
+    let cyclic = Topo.find_cycle (edge_graph n es) in
+    match cyclic with
+    | Some cycle ->
+        let complete = State.all_finished sys st in
+        let fire =
+          match report with
+          | `All_cyclic -> true
+          | `Complete_cyclic -> complete
+        in
+        if fire then begin
+          result := Some { steps = List.rev rev_steps; cycle };
+          true
+        end
+        else false
+    | None -> false
+  in
+  (try
+     while not (Queue.is_empty q) do
+       let st, es, rev_steps = Queue.pop q in
+       List.iter
+         (fun step ->
+           let new_arcs = d_arcs_of_step sys st step in
+           let es' =
+             List.fold_left (fun acc e -> Edge_set.add e acc) es new_arcs
+           in
+           let st' = State.apply st step in
+           let k' = key st' es' in
+           if not (Hashtbl.mem table k') then begin
+             if Hashtbl.length table >= max_states then
+               raise (Too_large (Hashtbl.length table));
+             let rev' = step :: rev_steps in
+             Hashtbl.replace table k' [];
+             if check st' es' rev' then raise Exit;
+             Queue.push (st', es', rev') q
+           end)
+         (State.enabled sys st)
+     done
+   with Exit -> ());
+  !result
+
+let safe_and_deadlock_free ?max_states sys =
+  match lemma1_search ?max_states sys ~report:`All_cyclic with
+  | None -> Ok ()
+  | Some cex -> Error cex
+
+let safe ?max_states sys =
+  match lemma1_search ?max_states sys ~report:`Complete_cyclic with
+  | None -> Ok ()
+  | Some cex -> Error cex
+
+let has_schedule sys target =
+  let sub st = Array.for_all2 (fun a b -> Bitset.subset a b) st target in
+  match
+    bfs sys ~restrict:sub ~found:(fun st -> State.equal st target)
+  with
+  | Some (steps, _) -> Some steps
+  | None -> None
+
+let complete_schedules sys =
+  let rec go st rev_steps () =
+    if State.all_finished sys st then
+      Seq.Cons (List.rev rev_steps, Seq.empty)
+    else
+      Seq.concat_map
+        (fun step -> go (State.apply st step) (step :: rev_steps))
+        (List.to_seq (State.enabled sys st))
+        ()
+  in
+  go (State.initial sys) []
+
+let count_complete_schedules sys = Seq.length (complete_schedules sys)
+
+type run = Completed of Step.t list | Deadlocked of Step.t list * State.t
+
+let random_run rng sys =
+  let rec go st rev_steps =
+    if State.all_finished sys st then Completed (List.rev rev_steps)
+    else
+      match State.enabled sys st with
+      | [] -> Deadlocked (List.rev rev_steps, st)
+      | steps ->
+          let step = List.nth steps (Random.State.int rng (List.length steps)) in
+          go (State.apply st step) (step :: rev_steps)
+  in
+  go (State.initial sys) []

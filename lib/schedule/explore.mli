@@ -1,0 +1,68 @@
+open Ddlock_model
+
+(** Exhaustive exploration of the schedule state space.
+
+    These are the (exponential) ground-truth deciders against which the
+    paper's polynomial algorithms are validated.  A state is a vector of
+    transaction prefixes; transitions execute enabled steps
+    ({!State.enabled}).  Every reachable state corresponds to at least one
+    partial schedule and vice versa. *)
+
+exception Too_large of int
+(** Raised when exploration exceeds the [max_states] cap. *)
+
+type space
+
+(** [explore ?max_states sys] computes the reachable state space with
+    parent pointers.  Default cap: 2_000_000 states. *)
+val explore : ?max_states:int -> System.t -> space
+
+val system : space -> System.t
+val state_count : space -> int
+val states : space -> State.t Seq.t
+val is_reachable : space -> State.t -> bool
+
+(** A (shortest) partial schedule realizing a reachable state. *)
+val schedule_to : space -> State.t -> Step.t list option
+
+(** {1 Deadlock (Theorem 1 ground truth)} *)
+
+(** First deadlock state found, with a partial schedule reaching it. *)
+val find_deadlock : ?max_states:int -> System.t -> (Step.t list * State.t) option
+
+val deadlock_free : ?max_states:int -> System.t -> bool
+
+(** {1 Safety and Lemma 1} *)
+
+type counterexample = {
+  steps : Step.t list;  (** a partial schedule *)
+  cycle : int list;  (** a cycle of D(steps), as transaction indices *)
+}
+
+(** Lemma 1 decider: [Error cex] when some partial schedule has a cyclic
+    serialization digraph (system is not safe ∧ deadlock-free). *)
+val safe_and_deadlock_free :
+  ?max_states:int -> System.t -> (unit, counterexample) result
+
+(** Safety alone: [Error cex] when some complete schedule is not
+    serializable. *)
+val safe : ?max_states:int -> System.t -> (unit, counterexample) result
+
+(** {1 Schedules} *)
+
+(** [has_schedule sys target] — does the prefix vector [target] have a
+    (partial) schedule?  Searches only through sub-states of [target].
+    Returns a witness schedule. *)
+val has_schedule : System.t -> State.t -> Step.t list option
+
+(** All complete schedules (DFS; heavily exponential — tiny systems). *)
+val complete_schedules : System.t -> Step.t list Seq.t
+
+val count_complete_schedules : System.t -> int
+
+(** {1 Random runs} *)
+
+type run = Completed of Step.t list | Deadlocked of Step.t list * State.t
+
+(** Execute uniformly-random enabled steps until completion or deadlock. *)
+val random_run : Random.State.t -> System.t -> run

@@ -1,0 +1,57 @@
+open Ddlock_model
+
+let to_text sys steps =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (s : Step.t) ->
+      let nd = Transaction.node (System.txn sys s.txn) s.node in
+      Buffer.add_string buf
+        (Printf.sprintf "T%d %s %s\n" (s.txn + 1)
+           (match nd.Node.op with Node.Lock -> "L" | Node.Unlock -> "U")
+           (Db.entity_name (System.db sys) nd.Node.entity)))
+    steps;
+  Buffer.contents buf
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+let parse sys text =
+  let db = System.db sys in
+  let err line message = Error { line; message } in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line' = String.trim line in
+        if line' = "" || line'.[0] = '#' then go acc (lineno + 1) rest
+        else
+          match
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' line')
+          with
+          | [ t; op; e ] -> (
+              let txn =
+                if String.length t >= 2 && t.[0] = 'T' then
+                  int_of_string_opt (String.sub t 1 (String.length t - 1))
+                else None
+              in
+              match (txn, Db.find_entity db e) with
+              | None, _ -> err lineno ("bad transaction " ^ t)
+              | Some i, _ when i < 1 || i > System.size sys ->
+                  err lineno ("transaction out of range: " ^ t)
+              | _, None -> err lineno ("unknown entity " ^ e)
+              | Some i, Some entity -> (
+                  let tx = System.txn sys (i - 1) in
+                  let node =
+                    match op with
+                    | "L" -> Transaction.lock_node tx entity
+                    | "U" -> Transaction.unlock_node tx entity
+                    | _ -> None
+                  in
+                  match node with
+                  | None ->
+                      err lineno
+                        (Printf.sprintf "T%d has no %s step on %s" i op e)
+                  | Some v -> go (Step.v (i - 1) v :: acc) (lineno + 1) rest))
+          | _ -> err lineno "expected: T<i> L|U <entity>")
+  in
+  go [] 1 (String.split_on_char '\n' text)

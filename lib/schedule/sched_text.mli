@@ -1,0 +1,17 @@
+open Ddlock_model
+
+(** Plain-text (partial) schedules, for saving witnesses and replaying
+    them with the CLI.
+
+    One step per line: [T<i> L <entity>] or [T<i> U <entity>], [#]
+    comments and blank lines ignored. *)
+
+val to_text : System.t -> Step.t list -> string
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Parse against a system (transaction indices and entity names are
+    resolved; node ids are looked up in the transactions). *)
+val parse : System.t -> string -> (Step.t list, error) result

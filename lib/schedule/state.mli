@@ -1,0 +1,48 @@
+open Ddlock_graph
+open Ddlock_model
+
+(** Execution states: one prefix (downward-closed node set) per
+    transaction — the "prefix A′ of A" of §3. *)
+
+type t = Bitset.t array
+
+val initial : System.t -> t
+val final : System.t -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+(** Stable structural key for hashtables. *)
+val key : t -> string
+
+(** [is_valid sys st] iff every component is a prefix of its transaction. *)
+val is_valid : System.t -> t -> bool
+
+(** [holder sys st x] is [Some i] when transaction [i] has locked but not
+    unlocked entity [x] in [st].  Legal states have at most one holder. *)
+val holder : System.t -> t -> Db.entity -> int option
+
+(** Entities held per transaction. *)
+val held : System.t -> t -> int -> Bitset.t
+
+(** [finished sys st i] iff transaction [i] has executed all its nodes. *)
+val finished : System.t -> t -> int -> bool
+
+val all_finished : System.t -> t -> bool
+
+(** Steps executable next: node [v] of [Tᵢ] is enabled iff it is minimal
+    among the remaining nodes of [Tᵢ] and, when [v] is a Lock on [x], no
+    other transaction currently holds [x]. *)
+val enabled : System.t -> t -> Step.t list
+
+(** [apply st step] — fresh state with the step's node added. *)
+val apply : t -> Step.t -> t
+
+(** A deadlock state (§3): some transaction is unfinished, and every
+    unfinished transaction's minimal remaining nodes are all Lock
+    operations on entities held by other transactions. *)
+val is_deadlock : System.t -> t -> bool
+
+(** Number of executed nodes. *)
+val size : t -> int
+
+val pp : System.t -> Format.formatter -> t -> unit

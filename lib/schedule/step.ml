@@ -1,0 +1,23 @@
+open Ddlock_model
+
+type t = { txn : int; node : int }
+
+let v txn node = { txn; node }
+let equal a b = a = b
+let compare = compare
+
+let to_string sys s =
+  let tx = System.txn sys s.txn in
+  let nd = Transaction.node tx s.node in
+  let op = match nd.Node.op with Node.Lock -> "L" | Node.Unlock -> "U" in
+  Printf.sprintf "%s%d.%s" op (s.txn + 1)
+    (Db.entity_name (System.db sys) nd.Node.entity)
+
+let pp sys ppf s = Format.pp_print_string ppf (to_string sys s)
+
+let pp_schedule sys ppf steps =
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (pp sys))
+    steps

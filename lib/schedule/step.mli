@@ -1,0 +1,14 @@
+open Ddlock_model
+
+(** One step of a schedule: node [node] of transaction [txn]. *)
+type t = { txn : int; node : int }
+
+val v : int -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** ["L²x"]-style rendering: op, transaction superscript, entity. *)
+val to_string : System.t -> t -> string
+
+val pp : System.t -> Format.formatter -> t -> unit
+val pp_schedule : System.t -> Format.formatter -> t list -> unit

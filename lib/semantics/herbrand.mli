@@ -1,0 +1,72 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** The full §2 model: transactions with {e action} nodes and the
+    Herbrand-style semantics the paper defines schedule equivalence by.
+
+    An action [A.x] is the indivisible execution of [t_v ← x] (read)
+    followed by [x ← f_v(t_{v1}, …, t_{vk})] (update), where [v1 … vk]
+    are the action nodes preceding [v] in its transaction (including
+    [v]) and [f_v] is an uninterpreted function symbol.  Two schedules
+    are equivalent when they leave every entity with the same term under
+    all interpretations of the [f_v] — i.e. with syntactically equal
+    Herbrand terms.  A schedule is serializable iff it is equivalent to
+    some serial schedule; the paper recalls [EGLT]'s theorem that this
+    holds iff the serialization digraph D(S) is acyclic, which is what
+    the rest of the library tests.  This module makes that foundation
+    executable (and the test suite checks the [EGLT] equivalence on
+    random systems).
+
+    The paper also argues that the {e positions} of actions play no role
+    for safety and deadlock; the test suite checks that too by placing
+    actions randomly. *)
+
+(** {1 Terms} *)
+
+type term =
+  | Init of Db.entity  (** the initial value of an entity *)
+  | App of string * term list
+      (** [f_v] applied to the read values of the action's predecessors *)
+
+val pp_term : Db.t -> Format.formatter -> term -> unit
+val term_equal : term -> term -> bool
+
+(** {1 Action-extended transactions}
+
+    A wrapper around a lock skeleton {!Transaction.t}: every accessed
+    entity gets [k >= 1] action slots strictly between its Lock and its
+    Unlock, woven into the entity's site order. *)
+
+type atxn
+
+(** [with_actions rng t ~per_entity] — insert [per_entity] actions per
+    accessed entity at random legal positions.  Requires [per_entity >= 1]
+    (the paper's assumption). *)
+val with_actions : Random.State.t -> Transaction.t -> per_entity:int -> atxn
+
+val skeleton : atxn -> Transaction.t
+
+(** Number of action nodes. *)
+val action_count : atxn -> int
+
+(** {1 Evaluation} *)
+
+type asystem = atxn array
+
+(** [eval sys steps] — run a complete (or partial) lock schedule of the
+    skeleton system, executing each transaction's pending actions for an
+    entity right before that entity's Unlock (any placement between Lock
+    and Unlock yields the same per-entity chains; the paper's
+    position-irrelevance).  Returns the final term of every entity.
+    The schedule must be legal for the skeletons. *)
+val eval : asystem -> Step.t list -> term array
+
+(** Schedules are equivalent iff all final terms coincide. *)
+val equivalent : asystem -> Step.t list -> Step.t list -> bool
+
+(** [serializable sys steps] — is the complete schedule equivalent to
+    SOME serial schedule?  Tries all |sys|! serial orders. *)
+val serializable : asystem -> Step.t list -> bool
+
+(** The lock-skeleton system. *)
+val system : asystem -> System.t

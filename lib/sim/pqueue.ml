@@ -1,0 +1,59 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+type 'a t = { mutable data : 'a entry array; mutable len : int; mutable seq : int }
+
+let create () = { data = [||]; len = 0; seq = 0 }
+let is_empty q = q.len = 0
+let size q = q.len
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap q i j =
+  let t = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- t
+
+let rec up q i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less q.data.(i) q.data.(p) then begin
+      swap q i p;
+      up q p
+    end
+  end
+
+let rec down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < q.len && less q.data.(l) q.data.(!m) then m := l;
+  if r < q.len && less q.data.(r) q.data.(!m) then m := r;
+  if !m <> i then begin
+    swap q i !m;
+    down q !m
+  end
+
+let push q key value =
+  let entry = { key; seq = q.seq; value } in
+  q.seq <- q.seq + 1;
+  if q.len = Array.length q.data then begin
+    let cap = max 16 (2 * q.len) in
+    let data = Array.make cap entry in
+    Array.blit q.data 0 data 0 q.len;
+    q.data <- data
+  end;
+  q.data.(q.len) <- entry;
+  q.len <- q.len + 1;
+  up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key q = if q.len = 0 then None else Some q.data.(0).key

@@ -1,0 +1,17 @@
+(** A mutable binary min-heap keyed by float — the simulator's event
+    queue.  Ties are broken by insertion order (FIFO), keeping runs
+    deterministic for a fixed seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push q key v] *)
+val push : 'a t -> float -> 'a -> unit
+
+(** Smallest key with its value; [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_key : 'a t -> float option

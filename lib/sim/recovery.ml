@@ -1,0 +1,330 @@
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+type scheme = Wait_die | Wound_wait | Detect of { period : float }
+
+type config = {
+  base : Runtime.config;
+  restart_delay : float;
+  max_time : float;
+}
+
+let default_config =
+  { base = Runtime.default_config; restart_delay = 3.0; max_time = 100_000.0 }
+
+type stats = {
+  commits : int;
+  aborts : int;
+  makespan : float;
+  timed_out : bool;
+}
+
+type run = {
+  stats : stats;
+  committed_trace : Step.t list;
+  stuck_waits : (int * int * int) list;
+      (* (waiter, entity, holder) at end of a timed-out run *)
+}
+
+type event =
+  | Arrive of Step.t * int  (** lock request reaches the manager *)
+  | Complete of Step.t * int  (** step finishes executing *)
+  | Restart of int * int  (** transaction, incarnation *)
+  | Tick  (** detect-and-abort period *)
+
+type lock_state = {
+  mutable holder : int option;
+  waiters : (Step.t * int) Queue.t;
+}
+
+let run ~scheme ?(config = default_config) rng sys =
+  let n = System.size sys in
+  let db = System.db sys in
+  let ne = Db.entity_count db in
+  let cfg = config.base in
+  let locks =
+    Array.init ne (fun _ -> { holder = None; waiters = Queue.create () })
+  in
+  let executed =
+    Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i))
+  in
+  let started =
+    Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i))
+  in
+  let incarnation = Array.make n 0 in
+  let committed = Array.make n false in
+  (* Timestamp (priority): arrival order; kept across restarts. *)
+  let ts i = i in
+  let last_site = Array.make n (-1) in
+  let events : event Pqueue.t = Pqueue.create () in
+  let now = ref 0.0 in
+  let commits = ref 0 and aborts = ref 0 and makespan = ref 0.0 in
+  let trace = ref [] in
+  (* (step, inc) completions, newest first *)
+  let duration i e =
+    let d =
+      cfg.Runtime.min_duration
+      +. Random.State.float rng
+           (max 1e-9 (cfg.Runtime.max_duration -. cfg.Runtime.min_duration))
+    in
+    let site = Db.site_of db e in
+    let extra =
+      if last_site.(i) >= 0 && last_site.(i) <> site then
+        cfg.Runtime.site_latency
+      else 0.0
+    in
+    last_site.(i) <- site;
+    d +. extra
+  in
+  let entity_of (step : Step.t) =
+    (Transaction.node (System.txn sys step.txn) step.node).Node.entity
+  in
+  let rec start (step : Step.t) =
+    let nd = Transaction.node (System.txn sys step.txn) step.node in
+    Bitset.set started.(step.txn) step.node;
+    let inc = incarnation.(step.txn) in
+    match nd.Node.op with
+    | Node.Unlock ->
+        Pqueue.push events
+          (!now +. duration step.txn nd.entity)
+          (Complete (step, inc))
+    | Node.Lock ->
+        let transit =
+          Random.State.float rng (max 1e-9 cfg.Runtime.request_jitter)
+        in
+        Pqueue.push events (!now +. transit) (Arrive (step, inc))
+  and start_ready i =
+    if not committed.(i) then
+      List.iter
+        (fun v -> if not (Bitset.mem started.(i) v) then start (Step.v i v))
+        (Transaction.minimal_remaining (System.txn sys i) executed.(i))
+  in
+  (* Grant a free entity to the first still-valid waiter, then replay the
+     remaining waiters against the new holder: the scheme's rule must be
+     re-applied whenever the holder changes, otherwise forbidden wait
+     directions (e.g. younger-waits-on-older under wait-die) leak in via
+     the queue and can re-create deadlocks. *)
+  let rec grant e =
+    let l = locks.(e) in
+    let rec pop_valid () =
+      match Queue.take_opt l.waiters with
+      | None -> None
+      | Some ((w, winc) : Step.t * int) ->
+          if winc = incarnation.(w.Step.txn) && not committed.(w.Step.txn)
+          then Some (w, winc)
+          else pop_valid ()
+    in
+    if l.holder = None then
+      match pop_valid () with
+      | None -> ()
+      | Some (w, winc) ->
+          l.holder <- Some w.Step.txn;
+          Pqueue.push events (!now +. duration w.Step.txn e) (Complete (w, winc));
+          let rest = ref [] in
+          let rec drain () =
+            match pop_valid () with
+            | None -> ()
+            | Some entry ->
+                rest := entry :: !rest;
+                drain ()
+          in
+          drain ();
+          List.iter
+            (fun (w', winc') ->
+              if winc' = incarnation.(w'.Step.txn) then
+                match l.holder with
+                | Some h -> on_lock_conflict w' winc' h
+                | None ->
+                    (* the scheme aborted the holder meanwhile *)
+                    l.holder <- Some w'.Step.txn;
+                    Pqueue.push events
+                      (!now +. duration w'.Step.txn e)
+                      (Complete (w', winc')))
+            (List.rev !rest)
+
+  and abort j =
+    incr aborts;
+    incarnation.(j) <- incarnation.(j) + 1;
+    executed.(j) <- Transaction.empty_prefix (System.txn sys j);
+    started.(j) <- Transaction.empty_prefix (System.txn sys j);
+    (* Release everything j holds; stale queue entries and in-flight
+       events die via the incarnation check. *)
+    for e = 0 to ne - 1 do
+      if locks.(e).holder = Some j then begin
+        locks.(e).holder <- None;
+        grant e
+      end
+    done;
+    Pqueue.push events
+      (!now +. config.restart_delay)
+      (Restart (j, incarnation.(j)))
+
+  and on_lock_conflict (step : Step.t) inc holder =
+    let r = step.Step.txn in
+    match scheme with
+    | Detect _ -> Queue.push (step, inc) locks.(entity_of step).waiters
+    | Wait_die ->
+        if ts r < ts holder then
+          Queue.push (step, inc) locks.(entity_of step).waiters
+        else abort r (* younger requester dies *)
+    | Wound_wait ->
+        if ts r < ts holder then begin
+          (* older requester wounds the younger holder and takes over *)
+          abort holder;
+          let l = locks.(entity_of step) in
+          (* abort released the entity (holder was [holder]); it may have
+             been re-granted to a queued waiter — if so, wait instead. *)
+          match l.holder with
+          | None ->
+              l.holder <- Some r;
+              Pqueue.push events
+                (!now +. duration r (entity_of step))
+                (Complete (step, inc))
+          | Some _ -> Queue.push (step, inc) l.waiters
+        end
+        else Queue.push (step, inc) locks.(entity_of step).waiters
+  in
+  (* The wait-for graph of currently-valid waiters. *)
+  let wait_for_arcs () =
+    let arcs = ref [] in
+    Array.iteri
+      (fun _e l ->
+        match l.holder with
+        | None -> ()
+        | Some h ->
+            Queue.iter
+              (fun ((w, winc) : Step.t * int) ->
+                if winc = incarnation.(w.Step.txn) then
+                  arcs := (w.Step.txn, h) :: !arcs)
+              l.waiters)
+      locks;
+    !arcs
+  in
+  for i = 0 to n - 1 do
+    start_ready i
+  done;
+  (match scheme with
+  | Detect { period } -> Pqueue.push events period Tick
+  | Wait_die | Wound_wait -> ());
+  let rec loop () =
+    if !commits < n then
+      match Pqueue.pop events with
+      | None -> ()
+      | Some (t, _) when t > config.max_time -> ()
+      | Some (t, ev) ->
+          now := t;
+          (match ev with
+          | Restart (j, inc) ->
+              if inc = incarnation.(j) && not committed.(j) then start_ready j
+          | Tick ->
+              (match scheme with
+              | Detect { period } ->
+                  let arcs = wait_for_arcs () in
+                  let g = Digraph.create n arcs in
+                  (match Topo.find_cycle g with
+                  | Some cycle ->
+                      (* Abort the youngest (largest timestamp). *)
+                      abort (List.fold_left max (List.hd cycle) cycle)
+                  | None -> ());
+                  if !commits < n then Pqueue.push events (t +. period) Tick
+              | Wait_die | Wound_wait -> ())
+          | Arrive (step, inc) ->
+              if inc = incarnation.(step.Step.txn) then begin
+                let l = locks.(entity_of step) in
+                match l.holder with
+                | None ->
+                    l.holder <- Some step.Step.txn;
+                    Pqueue.push events
+                      (!now +. duration step.Step.txn (entity_of step))
+                      (Complete (step, inc))
+                | Some h -> on_lock_conflict step inc h
+              end
+          | Complete (step, inc) ->
+              if inc = incarnation.(step.Step.txn) then begin
+                trace := (step, inc) :: !trace;
+                Bitset.set executed.(step.txn) step.node;
+                let nd =
+                  Transaction.node (System.txn sys step.txn) step.node
+                in
+                (match nd.Node.op with
+                | Node.Unlock ->
+                    locks.(nd.entity).holder <- None;
+                    grant nd.entity
+                | Node.Lock -> ());
+                if
+                  Bitset.cardinal executed.(step.txn)
+                  = Transaction.node_count (System.txn sys step.txn)
+                then begin
+                  committed.(step.txn) <- true;
+                  incr commits;
+                  makespan := !now
+                end
+                else start_ready step.txn
+              end);
+          loop ()
+  in
+  loop ();
+  let committed_trace =
+    List.rev_map fst
+      (List.filter
+         (fun ((s : Step.t), inc) ->
+           committed.(s.txn) && inc = incarnation.(s.txn))
+         !trace)
+  in
+  let stuck_waits =
+    if !commits < n then
+      List.map (fun (w, h) -> (w, -1, h)) (wait_for_arcs ())
+    else []
+  in
+  {
+    stats =
+      {
+        commits = !commits;
+        aborts = !aborts;
+        makespan = !makespan;
+        timed_out = !commits < n;
+      };
+    committed_trace;
+    stuck_waits;
+  }
+
+type batch_stats = {
+  runs : int;
+  total_aborts : int;
+  timeouts : int;
+  illegal_traces : int;
+  non_serializable_traces : int;
+  mean_makespan : float;
+}
+
+let batch ~scheme ?config rng sys ~runs =
+  let aborts = ref 0 and timeouts = ref 0 in
+  let illegal = ref 0 and bad = ref 0 in
+  let total = ref 0.0 and completed = ref 0 in
+  for _ = 1 to runs do
+    let r = run ~scheme ?config rng sys in
+    aborts := !aborts + r.stats.aborts;
+    if r.stats.timed_out then incr timeouts
+    else begin
+      incr completed;
+      total := !total +. r.stats.makespan;
+      if not (Schedule.is_complete sys r.committed_trace) then incr illegal;
+      if not (Dgraph.is_serializable sys r.committed_trace) then incr bad
+    end
+  done;
+  {
+    runs;
+    total_aborts = !aborts;
+    timeouts = !timeouts;
+    illegal_traces = !illegal;
+    non_serializable_traces = !bad;
+    mean_makespan =
+      (if !completed = 0 then Float.nan else !total /. float_of_int !completed);
+  }
+
+let pp_batch ppf s =
+  Format.fprintf ppf
+    "%d runs: %d aborts, %d timeouts, %d illegal, %d non-serializable, mean makespan %.2f"
+    s.runs s.total_aborts s.timeouts s.illegal_traces s.non_serializable_traces
+    s.mean_makespan

@@ -1,0 +1,75 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Runtime deadlock handling: the classic timestamp schemes of
+    Rosenkrantz, Stearns & Lewis [RSL, cited by the paper] plus periodic
+    detect-and-abort — the {e dynamic} alternatives to the paper's static
+    guarantees.
+
+    Unlike {!Runtime}, transactions here can {e abort}: an aborted
+    transaction releases all its locks, discards its progress, and
+    restarts after a delay, keeping its {e original} timestamp (which is
+    what makes wound-wait and wait-die starvation-free).
+
+    - {b Wait-die} (non-preemptive): an older requester waits; a younger
+      one dies (aborts itself).
+    - {b Wound-wait} (preemptive): an older requester wounds the holder
+      (the younger holder aborts); a younger requester waits.
+    - {b Detect} : requests always wait; every [period] the wait-for
+      graph is checked and the youngest transaction on a cycle aborts.
+
+    Wound-wait and wait-die can never deadlock; detect-and-abort resolves
+    every deadlock it finds.  These properties are validated in the test
+    suite against workloads that reliably deadlock under {!Runtime}. *)
+
+type scheme = Wait_die | Wound_wait | Detect of { period : float }
+
+type config = {
+  base : Runtime.config;
+  restart_delay : float;  (** delay before an aborted transaction retries *)
+  max_time : float;  (** safety cutoff; runs never exceed this clock *)
+}
+
+val default_config : config
+
+type stats = {
+  commits : int;
+  aborts : int;
+  makespan : float;  (** time of the last commit *)
+  timed_out : bool;  (** hit [max_time] before every transaction committed *)
+}
+
+type run = {
+  stats : stats;
+  committed_trace : Step.t list;
+      (** steps of committed incarnations only, in completion order — a
+          legal schedule of the system when [timed_out = false] *)
+  stuck_waits : (int * int * int) list;
+      (** diagnostic: (waiter txn, entity, holder txn) wait-for arcs when
+          a run ends without all transactions committed *)
+}
+
+(** [run ~scheme ?config rng sys] executes until every transaction has
+    committed (or [max_time]). *)
+val run : scheme:scheme -> ?config:config -> Random.State.t -> System.t -> run
+
+(** Repeated seeded runs; accumulates commits/aborts and validates each
+    committed trace's legality and serializability. *)
+type batch_stats = {
+  runs : int;
+  total_aborts : int;
+  timeouts : int;
+  illegal_traces : int;
+  non_serializable_traces : int;
+  mean_makespan : float;
+}
+
+val batch :
+  scheme:scheme ->
+  ?config:config ->
+  Random.State.t ->
+  System.t ->
+  runs:int ->
+  batch_stats
+
+val pp_batch : Format.formatter -> batch_stats -> unit

@@ -1,0 +1,192 @@
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+type config = {
+  min_duration : float;
+  max_duration : float;
+  site_latency : float;
+  request_jitter : float;
+}
+
+let default_config =
+  { min_duration = 1.0; max_duration = 2.0; site_latency = 0.5; request_jitter = 2.0 }
+
+type trace_entry = { time : float; step : Step.t }
+
+type outcome =
+  | Finished of { makespan : float }
+  | Deadlock of {
+      time : float;
+      waits_for : (int * Db.entity * int) list;
+      cycle : int list;
+    }
+
+type run = { outcome : outcome; trace : trace_entry list }
+
+type lock_state = { mutable holder : int option; waiters : Step.t Queue.t }
+
+(* A Lock step first travels to the lock manager (Arrive), then, once
+   granted, executes (Complete).  Unlocks only have a Complete phase. *)
+type event = Arrive of Step.t | Complete of Step.t
+
+let run ?(config = default_config) rng sys =
+  let n = System.size sys in
+  let db = System.db sys in
+  let ne = Db.entity_count db in
+  let locks = Array.init ne (fun _ -> { holder = None; waiters = Queue.create () }) in
+  let executed = Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i)) in
+  let started = Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i)) in
+  let last_site = Array.make n (-1) in
+  let events : event Pqueue.t = Pqueue.create () in
+  let trace = ref [] in
+  let now = ref 0.0 in
+  let duration i e =
+    let d =
+      config.min_duration
+      +. Random.State.float rng (max 1e-9 (config.max_duration -. config.min_duration))
+    in
+    let site = Db.site_of db e in
+    let extra = if last_site.(i) >= 0 && last_site.(i) <> site then config.site_latency else 0.0 in
+    last_site.(i) <- site;
+    d +. extra
+  in
+  (* Begin executing a node whose predecessors are all done.  Locks first
+     travel to the lock manager; everything else is scheduled directly. *)
+  let rec start (step : Step.t) =
+    let tx = System.txn sys step.txn in
+    let nd = Transaction.node tx step.node in
+    Bitset.set started.(step.txn) step.node;
+    match nd.Node.op with
+    | Node.Unlock ->
+        Pqueue.push events (!now +. duration step.txn nd.entity) (Complete step)
+    | Node.Lock ->
+        let transit = Random.State.float rng (max 1e-9 config.request_jitter) in
+        Pqueue.push events (!now +. transit) (Arrive step)
+  and start_ready i =
+    List.iter
+      (fun v ->
+        if not (Bitset.mem started.(i) v) then start (Step.v i v))
+      (Transaction.minimal_remaining (System.txn sys i) executed.(i))
+  in
+  for i = 0 to n - 1 do
+    start_ready i
+  done;
+  let finished () =
+    let rec go i =
+      i >= n
+      || (Bitset.cardinal executed.(i)
+            = Transaction.node_count (System.txn sys i)
+         && go (i + 1))
+    in
+    go 0
+  in
+  let entity_of (step : Step.t) =
+    (Transaction.node (System.txn sys step.txn) step.node).Node.entity
+  in
+  let rec loop () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some (t, Arrive step) ->
+        now := t;
+        let l = locks.(entity_of step) in
+        (match l.holder with
+        | None ->
+            l.holder <- Some step.Step.txn;
+            Pqueue.push events
+              (!now +. duration step.Step.txn (entity_of step))
+              (Complete step)
+        | Some _ -> Queue.push step l.waiters);
+        loop ()
+    | Some (t, Complete step) ->
+        now := t;
+        trace := { time = t; step } :: !trace;
+        Bitset.set executed.(step.txn) step.node;
+        let tx = System.txn sys step.txn in
+        let nd = Transaction.node tx step.node in
+        (match nd.Node.op with
+        | Node.Unlock ->
+            let l = locks.(nd.entity) in
+            l.holder <- None;
+            (match Queue.take_opt l.waiters with
+            | None -> ()
+            | Some w ->
+                l.holder <- Some w.Step.txn;
+                Pqueue.push events
+                  (!now +. duration w.Step.txn nd.entity)
+                  (Complete w))
+        | Node.Lock -> ());
+        start_ready step.txn;
+        loop ()
+  in
+  loop ();
+  let trace = List.rev !trace in
+  let outcome =
+    if finished () then Finished { makespan = !now }
+    else begin
+      let waits_for = ref [] in
+      Array.iteri
+        (fun e l ->
+          match l.holder with
+          | Some h ->
+              Queue.iter
+                (fun (w : Step.t) -> waits_for := (w.txn, e, h) :: !waits_for)
+                l.waiters
+          | None -> ())
+        locks;
+      let g = Digraph.create n (List.map (fun (w, _, h) -> (w, h)) !waits_for) in
+      let cycle = Option.value ~default:[] (Topo.find_cycle g) in
+      Deadlock { time = !now; waits_for = List.rev !waits_for; cycle }
+    end
+  in
+  { outcome; trace }
+
+let schedule_of_run r = List.map (fun e -> e.step) r.trace
+
+type batch_stats = {
+  runs : int;
+  deadlocks : int;
+  non_serializable : int;
+  mean_makespan : float;
+}
+
+let batch ?config rng sys ~runs =
+  let deadlocks = ref 0 and bad = ref 0 and total = ref 0.0 and completed = ref 0 in
+  for _ = 1 to runs do
+    let r = run ?config rng sys in
+    match r.outcome with
+    | Deadlock _ -> incr deadlocks
+    | Finished { makespan } ->
+        incr completed;
+        total := !total +. makespan;
+        if not (Dgraph.is_serializable sys (schedule_of_run r)) then incr bad
+  done;
+  {
+    runs;
+    deadlocks = !deadlocks;
+    non_serializable = !bad;
+    mean_makespan = (if !completed = 0 then Float.nan else !total /. float_of_int !completed);
+  }
+
+let pp_outcome sys ppf = function
+  | Finished { makespan } -> Format.fprintf ppf "finished at t=%.2f" makespan
+  | Deadlock { time; waits_for; cycle } ->
+      Format.fprintf ppf "@[<v>deadlock at t=%.2f" time;
+      List.iter
+        (fun (w, e, h) ->
+          Format.fprintf ppf "@,T%d waits for %s held by T%d" (w + 1)
+            (Db.entity_name (System.db sys) e)
+            (h + 1))
+        waits_for;
+      if cycle <> [] then
+        Format.fprintf ppf "@,wait-for cycle: %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+             (fun ppf i -> Format.fprintf ppf "T%d" (i + 1)))
+          cycle;
+      Format.fprintf ppf "@]"
+
+let pp_batch ppf s =
+  Format.fprintf ppf
+    "%d runs: %d deadlocked, %d non-serializable, mean makespan %.2f" s.runs
+    s.deadlocks s.non_serializable s.mean_makespan

@@ -1,0 +1,63 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Discrete-event execution of a transaction system on a multi-site
+    database with per-entity lock managers.
+
+    Each transaction executes its partial order with true intra-
+    transaction concurrency: all ready steps proceed in parallel (one
+    in-flight step per site, reflecting the model's site-total orders).
+    A ready Lock on a busy entity enqueues the transaction in the
+    entity's FIFO wait queue; Unlocks release and grant to the queue
+    head.  Step durations are drawn from the configuration, so different
+    seeds explore different interleavings.
+
+    A run ends when all transactions finish, or when no event is in
+    flight and someone is blocked — a runtime deadlock.  The trace is a
+    legal schedule of the system by construction (re-checked in tests). *)
+
+type config = {
+  min_duration : float;  (** lower bound of a step's service time *)
+  max_duration : float;  (** upper bound (uniform) *)
+  site_latency : float;  (** added once per cross-site transition *)
+  request_jitter : float;
+      (** a Lock request reaches its entity's lock manager after a
+          uniform [0, request_jitter) transit delay, so concurrent
+          requests race in different orders on different seeds *)
+}
+
+val default_config : config
+
+type trace_entry = { time : float; step : Step.t }
+
+type outcome =
+  | Finished of { makespan : float }
+  | Deadlock of {
+      time : float;
+      waits_for : (int * Db.entity * int) list;
+          (** (blocked txn, entity, holder) arcs of the wait-for graph *)
+      cycle : int list;  (** a cycle of blocked transactions *)
+    }
+
+type run = { outcome : outcome; trace : trace_entry list }
+
+(** [run ?config rng sys] executes one instance of the system. *)
+val run : ?config:config -> Random.State.t -> System.t -> run
+
+(** The schedule executed by a run (steps in time order). *)
+val schedule_of_run : run -> Step.t list
+
+type batch_stats = {
+  runs : int;
+  deadlocks : int;
+  non_serializable : int;
+      (** completed runs whose schedule is not serializable *)
+  mean_makespan : float;  (** over completed runs; nan if none *)
+}
+
+(** [batch ?config rng sys ~runs] — repeated seeded executions with
+    serializability checking of every completed trace. *)
+val batch : ?config:config -> Random.State.t -> System.t -> runs:int -> batch_stats
+
+val pp_outcome : System.t -> Format.formatter -> outcome -> unit
+val pp_batch : Format.formatter -> batch_stats -> unit

@@ -1,0 +1,51 @@
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+let prefix_of sys specs =
+  let p = State.initial sys in
+  List.iter
+    (fun (i, names) ->
+      let tx = System.txn sys i in
+      List.iter
+        (fun (nm, op) ->
+          let e = Db.find_entity_exn (System.db sys) nm in
+          let node =
+            match op with
+            | `L -> Transaction.lock_node_exn tx e
+            | `U -> Transaction.unlock_node_exn tx e
+          in
+          Bitset.set p.(i) node)
+        names)
+    specs;
+  p
+
+let fig1 () =
+  let db = Db.create [ ("site1", [ "x" ]); ("site2", [ "y"; "z" ]) ] in
+  let l e = Builder.L e and u e = Builder.U e in
+  let t1 =
+    Builder.total_exn db [ l "x"; u "x"; l "y"; l "z"; u "y"; u "z" ]
+  in
+  let t2 = Builder.total_exn db [ l "x"; l "y"; u "x"; u "y" ] in
+  let t3 = Builder.total_exn db [ l "z"; l "x"; u "z"; u "x" ] in
+  System.create [ t1; t2; t3 ]
+
+let fig1_deadlock_prefix sys =
+  prefix_of sys
+    [
+      (0, [ ("x", `L); ("x", `U); ("y", `L) ]);
+      (1, [ ("x", `L) ]);
+      (2, [ ("z", `L) ]);
+    ]
+
+let fig2_txn () = Gentx.guard_ring 4
+let fig2 () = System.copies (fig2_txn ()) 2
+
+let fig3_txn () =
+  let db = Db.create [ ("s1", [ "x" ]); ("s2", [ "y" ]) ] in
+  Builder.transaction_exn db
+    ~chains:Builder.[ [ L "x"; U "x"; U "y" ]; [ L "y"; U "y" ] ]
+    ()
+
+let fig3 () = System.copies (fig3_txn ()) 2
+let fig6_txn () = Gentx.guard_ring 3

@@ -1,0 +1,42 @@
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+(** The paper's figures as library values.
+
+    The 1986 scan's figures are OCR-garbled; these are reconstructions
+    with exactly the properties the text uses them for, machine-checked
+    by the test suite and by [examples/paper_figures.exe]. *)
+
+(** Fig. 1 — three transactions over two sites with a deadlock prefix
+    whose reduction-graph cycle passes through all three: T1 holds y
+    waiting for z, T2 holds x waiting for y, T3 holds z waiting for x,
+    after T1 has already locked and unlocked x (the paper's U¹x → L²x
+    arc). *)
+val fig1 : unit -> System.t
+
+(** The deadlock prefix of Fig. 1: T1 = \{Lx, Ux, Ly\}, T2 = \{Lx\},
+    T3 = \{Lz\}. *)
+val fig1_deadlock_prefix : System.t -> State.t
+
+(** Fig. 2 — the 4-entity guard ring ({!Gentx.guard_ring}[ 4]): one
+    partial order whose two copies deadlock through a cycle over four
+    entities although no entity pair satisfies Tirri's premise. *)
+val fig2_txn : unit -> Transaction.t
+
+val fig2 : unit -> System.t
+
+(** Fig. 3 — a partial order T with \{T, T\} deadlock-free although the
+    extension pair (Lx Ly Ux Uy, Ly Lx Ux Uy) deadlocks. *)
+val fig3_txn : unit -> Transaction.t
+
+val fig3 : unit -> System.t
+
+(** Fig. 6 — the 3-entity guard ring: two copies are deadlock-free,
+    three deadlock (so Theorem 5 fails for deadlock-freedom alone). *)
+val fig6_txn : unit -> Transaction.t
+
+(** Helper used by Fig. 1: set the named lock/unlock nodes of the given
+    transactions in a fresh prefix vector. *)
+val prefix_of :
+  System.t -> (int * (string * [ `L | `U ]) list) list -> Bitset.t array

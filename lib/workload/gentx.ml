@@ -1,0 +1,117 @@
+open Ddlock_model
+
+let random_db ~sites ~entities =
+  if sites < 1 || entities < 0 then invalid_arg "Gentx.random_db";
+  let specs =
+    List.init sites (fun s ->
+        let names =
+          List.filter_map
+            (fun e -> if e mod sites = s then Some ("e" ^ string_of_int e) else None)
+            (List.init entities Fun.id)
+        in
+        ("s" ^ string_of_int s, names))
+  in
+  Db.create specs
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let random_transaction rng db ~entities ~density =
+  let ents = Array.of_list entities in
+  let k = Array.length ents in
+  (* Nodes: 2i = L(ents.(i)), 2i+1 = U(ents.(i)). *)
+  let labels =
+    Array.init (2 * k) (fun i ->
+        if i mod 2 = 0 then Node.lock ents.(i / 2) else Node.unlock ents.(i / 2))
+  in
+  (* A random global order with each L before its U: shuffle, then swap
+     out-of-order L/U pairs. *)
+  let order = Array.init (2 * k) Fun.id in
+  shuffle rng order;
+  let pos = Array.make (2 * k) 0 in
+  Array.iteri (fun p v -> pos.(v) <- p) order;
+  for i = 0 to k - 1 do
+    let l = 2 * i and u = (2 * i) + 1 in
+    if pos.(l) > pos.(u) then begin
+      let pl = pos.(l) and pu = pos.(u) in
+      order.(pl) <- u;
+      order.(pu) <- l;
+      pos.(l) <- pu;
+      pos.(u) <- pl
+    end
+  done;
+  let arcs = ref [] in
+  (* L before U. *)
+  for i = 0 to k - 1 do
+    arcs := (2 * i, (2 * i) + 1) :: !arcs
+  done;
+  (* Per-site chains along the global order. *)
+  let by_site = Hashtbl.create 7 in
+  Array.iter
+    (fun v ->
+      let site = Db.site_of db labels.(v).Node.entity in
+      let prev = Hashtbl.find_opt by_site site in
+      (match prev with Some p -> arcs := (p, v) :: !arcs | None -> ());
+      Hashtbl.replace by_site site v)
+    order;
+  (* Random cross arcs along the global order. *)
+  for a = 0 to (2 * k) - 1 do
+    for b = a + 1 to (2 * k) - 1 do
+      if Random.State.float rng 1.0 < density then
+        arcs := (order.(a), order.(b)) :: !arcs
+    done
+  done;
+  Transaction.make_exn db labels !arcs
+
+let random_entity_subset rng db ~k =
+  let n = Db.entity_count db in
+  if k > n then invalid_arg "Gentx.random_entity_subset: k > entities";
+  let a = Array.init n Fun.id in
+  shuffle rng a;
+  List.sort compare (Array.to_list (Array.sub a 0 k))
+
+let random_system rng db ~txns ~entities_per_txn ~density =
+  System.create
+    (List.init txns (fun _ ->
+         random_transaction rng db
+           ~entities:(random_entity_subset rng db ~k:entities_per_txn)
+           ~density))
+
+let two_phase_pair db names =
+  (Builder.two_phase_chain db names, Builder.two_phase_chain db names)
+
+let opposed_pair db names =
+  (Builder.two_phase_chain db names, Builder.two_phase_chain db (List.rev names))
+
+let dining_philosophers k =
+  if k < 2 then invalid_arg "Gentx.dining_philosophers: k < 2";
+  let names = List.init k (fun i -> "f" ^ string_of_int i) in
+  let db = Db.one_site_per_entity names in
+  let fork i = "f" ^ string_of_int (i mod k) in
+  System.create
+    (List.init k (fun i ->
+         Builder.two_phase_chain db [ fork i; fork (i + 1) ]))
+
+let guard_ring k =
+  if k < 2 then invalid_arg "Gentx.guard_ring: k < 2";
+  let names = List.init k (fun i -> "g" ^ string_of_int i) in
+  let db = Db.one_site_per_entity names in
+  let g i = "g" ^ string_of_int (i mod k) in
+  Builder.transaction_exn db
+    ~arcs:(List.init k (fun i -> (Builder.L (g i), Builder.U (g (i + 1)))))
+    ()
+
+let chain_db n = Db.one_site_per_entity (List.init n (fun i -> "e" ^ string_of_int i))
+
+let chain_pair n =
+  let db = chain_db n in
+  two_phase_pair db (List.init n (fun i -> "e" ^ string_of_int i))
+
+let opposed_chain_pair n =
+  let db = chain_db n in
+  opposed_pair db (List.init n (fun i -> "e" ^ string_of_int i))

@@ -1,0 +1,71 @@
+open Ddlock_model
+
+(** Random and parametric transaction generators.
+
+    All generators produce validated {!Ddlock_model.Transaction.t} values;
+    randomness comes from an explicit [Random.State.t] so tests and
+    benches are reproducible. *)
+
+(** [random_db rng ~sites ~entities] — a schema with [entities] entities
+    spread round-robin over [sites] sites, named [e0, e1, …] /
+    [s0, s1, …]. *)
+val random_db : sites:int -> entities:int -> Db.t
+
+(** [random_transaction rng db ~entities ~density] — a random distributed
+    transaction accessing exactly the given entities.
+
+    Construction: pick a uniformly random global order of the 2·k nodes
+    with each Lock before its Unlock; orient per-site chains along it
+    (giving the required site-total orders); add each remaining
+    order-compatible pair as a cross arc with probability [density].
+    Every valid transaction shape on those entities arises with positive
+    probability at density 0–1 extremes. *)
+val random_transaction :
+  Random.State.t ->
+  Db.t ->
+  entities:Db.entity list ->
+  density:float ->
+  Transaction.t
+
+(** [random_entity_subset rng db ~k] — [k] distinct entities. *)
+val random_entity_subset : Random.State.t -> Db.t -> k:int -> Db.entity list
+
+(** [random_system rng db ~txns ~entities_per_txn ~density] — each
+    transaction accesses a random subset of entities. *)
+val random_system :
+  Random.State.t ->
+  Db.t ->
+  txns:int ->
+  entities_per_txn:int ->
+  density:float ->
+  System.t
+
+(** [two_phase_pair db names] — both transactions lock [names] in the
+    given order, 2PL-style; safe ∧ deadlock-free by Theorem 3. *)
+val two_phase_pair : Db.t -> string list -> Transaction.t * Transaction.t
+
+(** [opposed_pair db names] — T₁ locks in the given order, T₂ in reverse;
+    the classic unsafe/deadlocking shape for [length >= 2]. *)
+val opposed_pair : Db.t -> string list -> Transaction.t * Transaction.t
+
+(** [dining_philosophers k] — [k] entities [f0 … f(k-1)] on [k] sites;
+    transaction [i] 2PL-locks [fᵢ] then [f((i+1) mod k)].  Every pair is
+    safe ∧ deadlock-free, but the length-[k] interaction cycle deadlocks
+    (for k >= 3; [k >= 2] required). *)
+val dining_philosophers : int -> System.t
+
+(** [guard_ring k] — one transaction over [k] entities [g0 … g(k-1)] on
+    [k] sites whose only non-trivial arcs are the rotational guards
+    [Lgᵢ ≺ Ug(i+1 mod k)].  Copies of guard rings reproduce the paper's
+    counterexample figures: the 4-ring is Fig. 2's shape (two copies
+    deadlock although Tirri's premise finds nothing), and the 3-ring is
+    Fig. 6's (two copies are deadlock-free, three deadlock).
+    Requires [k >= 2]. *)
+val guard_ring : int -> Transaction.t
+
+(** [chain_pair n] — the safe ∧ DF pair of {!two_phase_pair} over [n]
+    entities on [n] sites; used by scaling benches. *)
+val chain_pair : int -> Transaction.t * Transaction.t
+
+(** [opposed_chain_pair n] — the failing variant. *)
+val opposed_chain_pair : int -> Transaction.t * Transaction.t

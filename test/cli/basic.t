@@ -1,0 +1,47 @@
+Generate a philosophers system and validate it:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 3 > phil.txn
+  $ ../../bin/ddlock_cli.exe validate phil.txn
+  phil.txn: OK (3 sites, 3 entities, 3 transactions)
+
+Pairwise analysis passes, the full analysis does not:
+
+  $ ../../bin/ddlock_cli.exe pair phil.txn T1 T2
+  {T1, T2}: safe and deadlock-free (Theorem 3)
+
+  $ ../../bin/ddlock_cli.exe analyze phil.txn
+  transactions:        3
+  entities:            3
+  sites:               3
+  lock/unlock nodes:   12
+  all two-phase:       true
+  interaction edges:   3
+  interaction cycles:  1
+  safety ∧ DF:         cycle T1 -> T3 -> T2 admits a partial schedule with cyclic D:
+                         L1.f0 L3.f2 L2.f1
+  deadlock-freedom:    deadlocks after:
+                       L1.f0 L2.f1 L3.f2
+  
+  how the deadlock happens:
+  T1 locks f0  (orders T1 before T3 on f0)
+  T2 locks f1  (orders T2 before T1 on f1)
+  T3 locks f2  (orders T3 before T2 on f2)
+  DEADLOCK
+  T1 is blocked: needs f1, held by T2
+  T2 is blocked: needs f2, held by T3
+  T3 is blocked: needs f0, held by T1
+  [1]
+
+Rings and the copies test (Corollary 3):
+
+  $ ../../bin/ddlock_cli.exe gen ring -n 3 > ring.txn
+  $ ../../bin/ddlock_cli.exe copies ring.txn T
+  copies of T are NOT safe∧deadlock-free: no entity is locked before all other nodes
+  [1]
+
+Parse errors are reported with a line number:
+
+  $ printf 'site s { x }\ntxn T { L q < U q; }\n' > bad.txn
+  $ ../../bin/ddlock_cli.exe validate bad.txn
+  bad.txn: line 2: unknown entity "q"
+  [2]

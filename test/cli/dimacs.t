@@ -1,0 +1,7 @@
+Feeding an arbitrary DIMACS CNF through normalization and the gadget:
+
+  $ printf 'p cnf 2 2\n1 2 0\n-1 -2 0\n' > f.cnf
+  $ ../../bin/ddlock_cli.exe sat-reduce --file f.cnf | head -3
+  normalized 2 vars / 2 clauses to 3SAT' with 8 vars / 12 clauses
+  formula: (x0 ∨ x4) ∧ (x3 ∨ x7) ∧ (¬x0 ∨ ¬x2) ∧ (x2 ∨ x1) ∧ (¬x1 ∨ ¬x3) ∧ (x3 ∨ x0) ∧ (¬x4 ∨ ¬x6) ∧ (x6 ∨ x5) ∧ (¬x5 ∨ ¬x7) ∧ (x7 ∨ x4) ∧ (x5 ∨ x6) ∧ (x1 ∨ x2)
+  reduction: 48 entities, 96+96 nodes, 48 sites

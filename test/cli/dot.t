@@ -1,0 +1,13 @@
+Graphviz output for the interaction graph:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 3 > phil.txn
+  $ ../../bin/ddlock_cli.exe dot phil.txn --what interaction
+  graph interaction {
+    node [shape=circle];
+    0 [label="T1"];
+    1 [label="T2"];
+    2 [label="T3"];
+    0 -- 1 [label="f1"];
+    0 -- 2 [label="f0"];
+    1 -- 2 [label="f2"];
+  }

@@ -1,0 +1,40 @@
+A deadlocking system with irrelevant baggage shrinks to its core:
+
+  $ cat > sys.txn <<'TXN'
+  > site s1 { a }
+  > site s2 { b }
+  > site s3 { p }
+  > txn T1 { L a < L p < L b < U a; L b < U p; U p < U b; }
+  > txn T2 { L b < L a < U b; L a < U a; }
+  > txn T3 { L p < U p; }
+  > TXN
+  $ ../../bin/ddlock_cli.exe minimize sys.txn 2>notes; cat notes
+  site s1 { a }
+  site s2 { b }
+  site s3 { p }
+  txn T1 {
+    L a < L b;
+    L b < U a;
+    L b < U b;
+  }
+  txn T2 {
+    L b < L a;
+    L a < U b;
+    L a < U a;
+  }
+  # kept transactions: T1, T2
+  # dropped p from T1
+  $ ../../bin/ddlock_cli.exe minimize sys.txn 2>/dev/null
+  site s1 { a }
+  site s2 { b }
+  site s3 { p }
+  txn T1 {
+    L a < L b;
+    L b < U a;
+    L b < U b;
+  }
+  txn T2 {
+    L b < L a;
+    L a < U b;
+    L a < U a;
+  }

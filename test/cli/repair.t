@@ -1,0 +1,27 @@
+Repairing the philosophers with a global lock order:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 3 > phil.txn
+  $ ../../bin/ddlock_cli.exe repair phil.txn > fixed.txn
+  # cycle T1 -> T3 -> T2 admits a partial schedule with cyclic D:
+    L1.f0 L3.f2 L2.f1
+  $ cat fixed.txn
+  site site_f0 { f0 }
+  site site_f1 { f1 }
+  site site_f2 { f2 }
+  txn T1 {
+    L f0 < L f1;
+    L f1 < U f0;
+    U f0 < U f1;
+  }
+  txn T2 {
+    L f1 < L f2;
+    L f2 < U f1;
+    U f1 < U f2;
+  }
+  txn T3 {
+    L f0 < L f2;
+    L f2 < U f0;
+    U f0 < U f2;
+  }
+  $ ../../bin/ddlock_cli.exe analyze fixed.txn | grep "safety"
+  safety ∧ DF:         safe and deadlock-free

@@ -1,0 +1,33 @@
+Replaying a schedule against a system:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 3 > phil.txn
+  $ printf 'T1 L f0\nT2 L f1\nT3 L f2\n' > dead.sched
+  $ ../../bin/ddlock_cli.exe replay phil.txn dead.sched
+  T1 locks f0  (orders T1 before T3 on f0)
+  T2 locks f1  (orders T2 before T1 on f1)
+  T3 locks f2  (orders T3 before T2 on f2)
+  DEADLOCK
+  T1 is blocked: needs f1, held by T2
+  T2 is blocked: needs f2, held by T3
+  T3 is blocked: needs f0, held by T1
+  serialization digraph: CYCLIC (T1 -> T3 -> T2)
+  reduction graph:       CYCLIC (no continuation can complete)
+
+Illegal schedules are rejected with the violated rule:
+
+  $ printf 'T1 L f0\nT3 L f0\n' > bad.sched
+  $ ../../bin/ddlock_cli.exe replay phil.txn bad.sched
+  ILLEGAL: step L3.f0 executed before one of its predecessors
+  [1]
+
+A clean serial prefix:
+
+  $ printf 'T1 L f0\nT1 L f1\nT1 U f0\nT1 U f1\n' > ok.sched
+  $ ../../bin/ddlock_cli.exe replay phil.txn ok.sched
+  T1 locks f0  (orders T1 before T3 on f0)
+  T1 locks f1  (orders T1 before T2 on f1)
+  T1 unlocks f0
+  T1 unlocks f1
+  (partial)
+  serialization digraph: acyclic
+  reduction graph:       acyclic

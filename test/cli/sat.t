@@ -1,0 +1,9 @@
+The Theorem 2 reduction round-trip on a seeded random 3SAT' instance:
+
+  $ ../../bin/ddlock_cli.exe sat-reduce --vars 3 --seed 5
+  formula: (x1 ∨ ¬x2 ∨ x0) ∧ (x1 ∨ x2 ∨ ¬x0) ∧ (¬x1 ∨ x0 ∨ x2)
+  reduction: 15 entities, 30+30 nodes, 15 sites
+  DPLL: satisfiable
+  deadlock prefix schedule: L1.c0' L1.c1' L1.c2' L1.x0 L1.x1 L1.x0' L1.x1' L2.c0 L2.c1 L2.c2
+  reduction-graph cycle:    L1.c0 U1.x0 L2.x0 U2.c1 L1.c1 U1.x1' L2.x1' U2.c2 L1.c2 U1.x0' L2.x0' U2.c0
+  assignment extracted back from the cycle: x0=true, x1=true, x2=false

@@ -1,0 +1,10 @@
+Seeded simulation runs are reproducible:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 3 > phil.txn
+  $ ../../bin/ddlock_cli.exe simulate phil.txn --runs 20 --seed 7 | head -1
+  20 runs: 20 deadlocked, 0 non-serializable, mean makespan nan
+
+Recovery schemes always drive the workload to completion:
+
+  $ ../../bin/ddlock_cli.exe recover phil.txn --scheme detect --runs 20 --seed 7
+  20 runs: 20 aborts, 0 timeouts, 0 illegal, 0 non-serializable, mean makespan 19.73

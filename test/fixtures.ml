@@ -1,0 +1,54 @@
+(* Shared fixtures: machine-checked reconstructions of the paper's figures
+   and common helpers.  The 1986 scan's figures are OCR-garbled, so each
+   reconstruction is built to satisfy exactly the properties the paper
+   uses it for; the test suites verify those properties. *)
+
+open Ddlock_model
+
+(* Paper figures now live in the library (Ddlock_workload.Figures); the
+   fixtures simply re-export them for the test suites. *)
+let fig1 = Ddlock_workload.Figures.fig1
+let fig1_deadlock_prefix = Ddlock_workload.Figures.fig1_deadlock_prefix
+let fig2_txn () =
+  let t = Ddlock_workload.Figures.fig2_txn () in
+  (Transaction.db t, t)
+let fig2 = Ddlock_workload.Figures.fig2
+let fig3_txn () =
+  let t = Ddlock_workload.Figures.fig3_txn () in
+  (Transaction.db t, t)
+let fig3 = Ddlock_workload.Figures.fig3
+let fig6_txn = Ddlock_workload.Figures.fig6_txn
+
+(* Deterministic RNG for reproducible tests. *)
+let rng seed = Random.State.make [| seed; 0xddf0c |]
+
+(* Deterministic qcheck wrapper: a fixed seed per property, so the suite
+   is reproducible run-to-run (QCHECK_SEED still overrides via env). *)
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed2026 |]) test
+
+(* Small random systems for ground-truth comparisons. *)
+let small_random_pair st =
+  let sites = 1 + Random.State.int st 3 in
+  let entities = 2 + Random.State.int st 3 in
+  let db = Ddlock_workload.Gentx.random_db ~sites ~entities in
+  let density = Random.State.float st 0.5 in
+  let k1 = 1 + Random.State.int st entities in
+  let k2 = 1 + Random.State.int st entities in
+  let e1 = Ddlock_workload.Gentx.random_entity_subset st db ~k:k1 in
+  let e2 = Ddlock_workload.Gentx.random_entity_subset st db ~k:k2 in
+  let t1 = Ddlock_workload.Gentx.random_transaction st db ~entities:e1 ~density in
+  let t2 = Ddlock_workload.Gentx.random_transaction st db ~entities:e2 ~density in
+  System.create [ t1; t2 ]
+
+let small_random_system st ~txns =
+  let sites = 1 + Random.State.int st 2 in
+  let entities = 2 + Random.State.int st 2 in
+  let db = Ddlock_workload.Gentx.random_db ~sites ~entities in
+  let density = Random.State.float st 0.5 in
+  System.create
+    (List.init txns (fun _ ->
+         let k = 1 + Random.State.int st entities in
+         Ddlock_workload.Gentx.random_transaction st db
+           ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k)
+           ~density))

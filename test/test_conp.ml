@@ -1,0 +1,344 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_conp
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_formula_shape () =
+  check bool_t "paper example is 3SAT'" true
+    (Formula.is_3sat' Gen3sat.paper_example);
+  check bool_t "tiny unsat is 3SAT'" true (Formula.is_3sat' Gen3sat.tiny_unsat);
+  let bad = Formula.of_dimacs 1 [ [ 1 ]; [ 1 ] ] in
+  check bool_t "wrong occurrence counts rejected" false (Formula.is_3sat' bad);
+  let long = Formula.of_dimacs 2 [ [ 1; 1; 2; 2 ]; [ -1; -2 ] ] in
+  check bool_t "long clause rejected" false (Formula.is_3sat' long)
+
+let test_occurrences () =
+  let h, k, l = Formula.occurrences Gen3sat.paper_example 0 in
+  check (Alcotest.triple int_t int_t int_t) "x0" (0, 1, 2) (h, k, l);
+  let h, k, l = Formula.occurrences Gen3sat.paper_example 1 in
+  check (Alcotest.triple int_t int_t int_t) "x1" (0, 2, 1) (h, k, l)
+
+let gen3sat_shape_prop =
+  QCheck.Test.make ~name:"generator output is 3SAT'" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_range 3 8))
+    (fun (seed, n) ->
+      let st = Fixtures.rng seed in
+      Formula.is_3sat' (Gen3sat.generate st ~n_vars:n))
+
+(* ------------------------------------------------------------------ *)
+(* DPLL                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let random_cnf st ~n_vars ~n_clauses =
+  Formula.
+    {
+      n_vars;
+      clauses =
+        List.init n_clauses (fun _ ->
+            List.init
+              (1 + Random.State.int st 3)
+              (fun _ ->
+                let v = Random.State.int st n_vars in
+                if Random.State.bool st then Pos v else Neg v));
+    }
+
+let dpll_vs_brute_prop =
+  QCheck.Test.make ~name:"DPLL = brute force on random CNFs" ~count:300
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let f =
+        random_cnf st
+          ~n_vars:(1 + Random.State.int st 6)
+          ~n_clauses:(Random.State.int st 10)
+      in
+      Dpll.satisfiable f = Dpll.satisfiable_brute f)
+
+let dpll_model_valid_prop =
+  QCheck.Test.make ~name:"DPLL models satisfy the formula" ~count:300
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let f =
+        random_cnf st
+          ~n_vars:(1 + Random.State.int st 6)
+          ~n_clauses:(Random.State.int st 10)
+      in
+      match Dpll.solve f with
+      | None -> true
+      | Some m -> Formula.satisfies m f)
+
+let test_dpll_known () =
+  check bool_t "paper example sat" true (Dpll.satisfiable Gen3sat.paper_example);
+  check bool_t "tiny unsat" false (Dpll.satisfiable Gen3sat.tiny_unsat);
+  check int_t "paper example models" 1 (Dpll.count_models Gen3sat.paper_example)
+
+(* ------------------------------------------------------------------ *)
+(* The Theorem 2 reduction                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_shape () =
+  let r = Reduction_sat.build Gen3sat.paper_example in
+  (* 3 clauses, 2 variables: entities = 2*3 + 3*2 = 12, nodes = 24. *)
+  check int_t "entities" 12 (Db.entity_count r.Reduction_sat.db);
+  check int_t "t1 nodes" 24 (Transaction.node_count r.Reduction_sat.t1);
+  check int_t "t2 nodes" 24 (Transaction.node_count r.Reduction_sat.t2);
+  (* One site per entity — the construction needs unboundedly many sites. *)
+  check int_t "sites" 12 (Db.site_count r.Reduction_sat.db);
+  (* Every entity is accessed by both transactions. *)
+  check int_t "t1 accesses all" 12
+    (List.length (Transaction.entities r.Reduction_sat.t1));
+  check int_t "t2 accesses all" 12
+    (List.length (Transaction.entities r.Reduction_sat.t2))
+
+let test_paper_example_witness () =
+  let r = Reduction_sat.build Gen3sat.paper_example in
+  match Dpll.solve Gen3sat.paper_example with
+  | None -> Alcotest.fail "paper example is satisfiable"
+  | Some model -> (
+      match Reduction_sat.deadlock_witness r model with
+      | None -> Alcotest.fail "expected a deadlock witness"
+      | Some (steps, cycle) ->
+          check bool_t "schedule legal" true
+            (Schedule.is_legal r.Reduction_sat.sys steps);
+          check bool_t "cycle nonempty" true (cycle <> []);
+          (* Soundness of the extraction: the cycle's assignment satisfies
+             the formula. *)
+          let a = Reduction_sat.assignment_of_cycle r cycle in
+          check bool_t "extracted assignment satisfies" true
+            (Formula.satisfies a Gen3sat.paper_example))
+
+(* The constructive direction on random satisfiable 3SAT' instances:
+   model -> deadlock prefix (legal schedule + cyclic reduction graph),
+   and cycle -> satisfying assignment.  All checks are polynomial. *)
+let reduction_soundness_prop =
+  QCheck.Test.make
+    ~name:"Theorem 2: model ⇒ deadlock prefix ⇒ model (random 3SAT')"
+    ~count:60
+    QCheck.(pair (int_bound 10_000_000) (int_range 3 7))
+    (fun (seed, n) ->
+      let st = Fixtures.rng seed in
+      let f = Gen3sat.generate st ~n_vars:n in
+      match Dpll.solve f with
+      | None -> QCheck.assume_fail ()
+      | Some model -> (
+          let r = Reduction_sat.build f in
+          match Reduction_sat.deadlock_witness r model with
+          | None -> false
+          | Some (steps, cycle) ->
+              Schedule.is_legal r.Reduction_sat.sys steps
+              && Formula.satisfies
+                   (Reduction_sat.assignment_of_cycle r cycle)
+                   f))
+
+(* The prefix built from a model consists of locks only, with disjoint
+   entity sets between the two prefixes (the paper's argument for "any
+   ordering is a schedule"). *)
+let prefix_shape_prop =
+  QCheck.Test.make ~name:"canonical prefix: locks only, disjoint entities"
+    ~count:60
+    QCheck.(pair (int_bound 10_000_000) (int_range 3 7))
+    (fun (seed, n) ->
+      let st = Fixtures.rng seed in
+      let f = Gen3sat.generate st ~n_vars:n in
+      match Dpll.solve f with
+      | None -> QCheck.assume_fail ()
+      | Some model ->
+          let r = Reduction_sat.build f in
+          let p = Reduction_sat.prefix_of_assignment r model in
+          let sys = r.Reduction_sat.sys in
+          let locks_only i =
+            Ddlock_graph.Bitset.for_all
+              (fun v ->
+                (Transaction.node (System.txn sys i) v).Node.op = Node.Lock)
+              p.(i)
+          in
+          let held i = Transaction.held_in_prefix (System.txn sys i) p.(i) in
+          locks_only 0 && locks_only 1
+          && Ddlock_graph.Bitset.disjoint (held 0) (held 1)
+          && State.is_valid sys p)
+
+(* Statistical check of the unsat direction: the system built from an
+   unsatisfiable formula should never deadlock under random execution.
+   (Exhaustive search is exactly the coNP-hard problem.) *)
+let test_unsat_never_deadlocks_statistically () =
+  let r = Reduction_sat.build Gen3sat.tiny_unsat in
+  let st = Fixtures.rng 7 in
+  for _ = 1 to 500 do
+    match Explore.random_run st r.Reduction_sat.sys with
+    | Explore.Completed _ -> ()
+    | Explore.Deadlocked _ ->
+        Alcotest.fail "unsat reduction system deadlocked"
+  done
+
+(* And the mirrored statistical check: for a satisfiable formula the
+   canonical deadlock prefix IS reachable by ordinary execution — replay
+   its schedule, then confirm the state cannot complete. *)
+let test_sat_prefix_cannot_complete () =
+  let r = Reduction_sat.build Gen3sat.paper_example in
+  let model = Option.get (Dpll.solve Gen3sat.paper_example) in
+  let steps, _ = Option.get (Reduction_sat.deadlock_witness r model) in
+  let sys = r.Reduction_sat.sys in
+  let st = Schedule.to_state sys steps in
+  (* From this state, every random continuation must eventually get stuck
+     (the reduction graph is cyclic, so completion is impossible). *)
+  let rng = Fixtures.rng 11 in
+  for _ = 1 to 50 do
+    let rec run state =
+      match State.enabled sys state with
+      | [] -> check bool_t "stuck, not finished" false (State.all_finished sys state)
+      | steps ->
+          let s = List.nth steps (Random.State.int rng (List.length steps)) in
+          run (State.apply state s)
+    in
+    run st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Normalization: general CNF -> 3SAT'                                 *)
+(* ------------------------------------------------------------------ *)
+
+let random_general_cnf st ~n_vars ~n_clauses ~max_len =
+  Formula.
+    {
+      n_vars;
+      clauses =
+        List.init n_clauses (fun _ ->
+            List.init
+              (Random.State.int st (max_len + 1))
+              (fun _ ->
+                let v = Random.State.int st n_vars in
+                if Random.State.bool st then Pos v else Neg v));
+    }
+
+let normalize_shape_prop =
+  QCheck.Test.make ~name:"normalize output is 3SAT'" ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let f =
+        random_general_cnf st
+          ~n_vars:(1 + Random.State.int st 5)
+          ~n_clauses:(Random.State.int st 8)
+          ~max_len:5
+      in
+      Formula.is_3sat' (Normalize.normalize f).Normalize.formula)
+
+let normalize_equisat_prop =
+  QCheck.Test.make ~name:"normalize preserves satisfiability + models map back"
+    ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let f =
+        random_general_cnf st
+          ~n_vars:(1 + Random.State.int st 4)
+          ~n_clauses:(Random.State.int st 7)
+          ~max_len:5
+      in
+      let nz = Normalize.normalize f in
+      match (Dpll.solve f, Dpll.solve nz.Normalize.formula) with
+      | None, None -> true
+      | Some _, Some m -> Formula.satisfies (nz.Normalize.back m) f
+      | Some _, None | None, Some _ -> false)
+
+let test_normalize_empty_clause () =
+  let f = Formula.{ n_vars = 1; clauses = [ []; [ Pos 0 ] ] } in
+  let nz = Normalize.normalize f in
+  check bool_t "shape" true (Formula.is_3sat' nz.Normalize.formula);
+  check bool_t "unsat" false (Dpll.satisfiable nz.Normalize.formula)
+
+let test_normalize_long_clause () =
+  let f =
+    Formula.{ n_vars = 6; clauses = [ [ Pos 0; Neg 1; Pos 2; Neg 3; Pos 4; Neg 5 ] ] }
+  in
+  let nz = Normalize.normalize f in
+  check bool_t "shape" true (Formula.is_3sat' nz.Normalize.formula);
+  check bool_t "sat" true (Dpll.satisfiable nz.Normalize.formula)
+
+let test_dimacs () =
+  let src = "c a comment
+p cnf 3 2
+1 -2 0
+2 3 -1 0
+" in
+  (match Normalize.parse_dimacs src with
+  | Ok f ->
+      check int_t "vars" 3 f.Formula.n_vars;
+      check int_t "clauses" 2 (List.length f.Formula.clauses);
+      check bool_t "first clause" true
+        (List.hd f.Formula.clauses = Formula.[ Pos 0; Neg 1 ])
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Normalize.parse_dimacs "1 2 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "clause before p line must fail");
+  match Normalize.parse_dimacs "p cnf 1 1
+5 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range literal must fail"
+
+(* End-to-end: arbitrary CNF -> 3SAT' -> Theorem-2 gadget round trip. *)
+let normalize_gadget_roundtrip_prop =
+  QCheck.Test.make
+    ~name:"general CNF through normalize + Theorem 2 gadget" ~count:30
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let f =
+        random_general_cnf st
+          ~n_vars:(1 + Random.State.int st 3)
+          ~n_clauses:(1 + Random.State.int st 4)
+          ~max_len:4
+      in
+      let nz = Normalize.normalize f in
+      match Dpll.solve nz.Normalize.formula with
+      | None -> Dpll.solve f = None
+      | Some model -> (
+          let r = Reduction_sat.build nz.Normalize.formula in
+          match Reduction_sat.deadlock_witness r model with
+          | None -> false
+          | Some (steps, cycle) ->
+              Ddlock_schedule.Schedule.is_legal r.Reduction_sat.sys steps
+              && Formula.satisfies
+                   (Reduction_sat.assignment_of_cycle r cycle)
+                   nz.Normalize.formula))
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [
+      normalize_shape_prop;
+      normalize_equisat_prop;
+      normalize_gadget_roundtrip_prop;
+      gen3sat_shape_prop;
+      dpll_vs_brute_prop;
+      dpll_model_valid_prop;
+      reduction_soundness_prop;
+      prefix_shape_prop;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "formula shape" `Quick test_formula_shape;
+    Alcotest.test_case "occurrences" `Quick test_occurrences;
+    Alcotest.test_case "dpll known" `Quick test_dpll_known;
+    Alcotest.test_case "reduction shape" `Quick test_build_shape;
+    Alcotest.test_case "paper example witness" `Quick
+      test_paper_example_witness;
+    Alcotest.test_case "unsat: no deadlock (statistical)" `Quick
+      test_unsat_never_deadlocks_statistically;
+    Alcotest.test_case "sat: prefix cannot complete" `Quick
+      test_sat_prefix_cannot_complete;
+    Alcotest.test_case "normalize: empty clause" `Quick
+      test_normalize_empty_clause;
+    Alcotest.test_case "normalize: long clause" `Quick
+      test_normalize_long_clause;
+    Alcotest.test_case "dimacs" `Quick test_dimacs;
+  ]
+  @ qtests

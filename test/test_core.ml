@@ -1,0 +1,392 @@
+open Ddlock
+module Db = Model.Db
+module Builder = Model.Builder
+module System = Model.System
+module Transaction = Model.Transaction
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Analysis facade                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_analysis_safe () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a"; "b" ];
+        Builder.two_phase_chain db [ "a"; "b" ];
+      ]
+  in
+  let r = Analysis.report sys in
+  check bool_t "safe verdict" true
+    (r.Analysis.safety = Analysis.Safe_and_deadlock_free);
+  check bool_t "df verdict" true (r.Analysis.deadlock = Analysis.Deadlock_free);
+  check bool_t "two phase" true r.Analysis.all_two_phase;
+  check int_t "txns" 2 r.Analysis.txn_count
+
+let test_analysis_philosophers () =
+  let sys = Workload.Gentx.dining_philosophers 3 in
+  let r = Analysis.report sys in
+  (match r.Analysis.safety with
+  | Analysis.Cycle_violation _ -> ()
+  | _ -> Alcotest.fail "expected cycle violation");
+  match r.Analysis.deadlock with
+  | Analysis.Deadlocks { schedule; state } ->
+      check bool_t "witness legal" true (Sched.Schedule.is_legal sys schedule);
+      check bool_t "state deadlocked" true (Sched.State.is_deadlock sys state)
+  | _ -> Alcotest.fail "expected Deadlocks"
+
+let test_analysis_gave_up () =
+  (* A pairwise-failing but huge system forces the bounded search to give
+     up when the budget is tiny. *)
+  let sys = Workload.Gentx.dining_philosophers 8 in
+  match Analysis.deadlock_free ~max_states:10 sys with
+  | Analysis.Gave_up { states_explored } ->
+      check bool_t "budget reported" true (states_explored >= 10)
+  | Analysis.Deadlocks _ ->
+      (* BFS may find the deadlock before the cap: also acceptable. *)
+      ()
+  | Analysis.Deadlock_free -> Alcotest.fail "cannot be deadlock free"
+
+let test_analysis_polynomial_shortcut () =
+  (* A certified-safe system never enters the exponential search, so a
+     tiny budget must still answer Deadlock_free. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let sys =
+    System.create
+      (List.init 4 (fun _ -> Builder.two_phase_chain db [ "a"; "b" ]))
+  in
+  check bool_t "polynomial path" true
+    (Analysis.deadlock_free ~max_states:1 sys = Analysis.Deadlock_free)
+
+(* ------------------------------------------------------------------ *)
+(* Dot output                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dot_outputs () =
+  let sys = Workload.Gentx.dining_philosophers 3 in
+  let t = System.txn sys 0 in
+  let dt = Dot.transaction ~name:"T1" t in
+  check bool_t "txn digraph" true (contains dt "digraph \"T1\"");
+  check bool_t "txn node label" true (contains dt "Lf0");
+  let ds = Dot.system sys in
+  check bool_t "system clusters" true (contains ds "cluster_T3");
+  let di = Dot.interaction sys in
+  check bool_t "interaction edge label" true (contains di "f1");
+  check bool_t "undirected" true (contains di "--");
+  (* Reduction graph of the classic stuck prefix. *)
+  let p = Sched.State.initial sys in
+  for i = 0 to 2 do
+    Ddlock_graph.Bitset.set p.(i)
+      (Transaction.lock_node_exn (System.txn sys i)
+         (Db.find_entity_exn (System.db sys) ("f" ^ string_of_int i)))
+  done;
+  let dr = Dot.reduction sys p in
+  check bool_t "lock arcs dashed" true (contains dr "style=dashed");
+  let steps =
+    List.init 3 (fun i ->
+        Sched.Step.v i
+          (Transaction.lock_node_exn (System.txn sys i)
+             (Db.find_entity_exn (System.db sys) ("f" ^ string_of_int i))))
+  in
+  let dd = Dot.dgraph sys steps in
+  check bool_t "dgraph arcs labelled" true (contains dd "label=\"f");
+  (* All outputs are balanced dot documents. *)
+  List.iter
+    (fun s ->
+      check bool_t "ends with brace" true
+        (String.length s > 0 && contains s "}\n"))
+    [ dt; ds; di; dr; dd ]
+
+(* ------------------------------------------------------------------ *)
+(* Early unlock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_span () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t = Builder.two_phase_chain db [ "a"; "b" ] in
+  (* La Lb Ua Ub: span a = 2, span b = 2. *)
+  let a = Db.find_entity_exn db "a" and b = Db.find_entity_exn db "b" in
+  check int_t "span a" 2 (Safety.Early_unlock.span t a);
+  check int_t "span b" 2 (Safety.Early_unlock.span t b)
+
+let test_early_unlock_private_entities () =
+  (* Entity p is private to T1: its span must shrink to 1 without losing
+     the certificate.  Shared entities a,b keep their guards. *)
+  let db = Db.one_site_per_entity [ "a"; "b"; "p" ] in
+  let t1 = Builder.two_phase_chain db [ "a"; "p"; "b" ] in
+  let t2 = Builder.two_phase_chain db [ "a"; "b" ] in
+  let sys = System.create [ t1; t2 ] in
+  assert (Safety.Many.safe_and_deadlock_free sys);
+  let sys', stats = Safety.Early_unlock.minimize_spans sys in
+  check bool_t "still safe&DF (Theorem 4)" true
+    (Safety.Many.safe_and_deadlock_free sys');
+  check bool_t "still safe&DF (exhaustive)" true
+    (Result.is_ok (Sched.Explore.safe_and_deadlock_free sys'));
+  check bool_t "span decreased" true
+    (stats.Safety.Early_unlock.span_after
+    < stats.Safety.Early_unlock.span_before);
+  check bool_t "swaps happened" true (stats.Safety.Early_unlock.swaps > 0);
+  let p = Db.find_entity_exn db "p" in
+  check int_t "private span is 1" 1
+    (Safety.Early_unlock.span (System.txn sys' 0) p)
+
+let test_early_unlock_guards_kept () =
+  (* Two identical 2PL chains over shared entities: no unlock can move
+     without breaking the guard condition, so nothing changes. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a"; "b" ];
+        Builder.two_phase_chain db [ "a"; "b" ];
+      ]
+  in
+  let _, stats = Safety.Early_unlock.minimize_spans sys in
+  check int_t "no swaps" 0 stats.Safety.Early_unlock.swaps
+
+let test_early_unlock_uncertified_input () =
+  let sys =
+    System.create
+      (let t1, t2 = Workload.Gentx.opposed_chain_pair 2 in
+       [ t1; t2 ])
+  in
+  let sys', stats = Safety.Early_unlock.minimize_spans sys in
+  check int_t "unchanged" 0 stats.Safety.Early_unlock.swaps;
+  check bool_t "same system" true (sys == sys')
+
+let early_unlock_preserves_prop =
+  QCheck.Test.make
+    ~name:"early unlock preserves safe∧DF and never increases spans"
+    ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Workload.Gentx.random_db ~sites:1 ~entities:4 in
+      let mk () =
+        let k = 1 + Random.State.int st 4 in
+        let names =
+          List.map (Db.entity_name db)
+            (Workload.Gentx.random_entity_subset st db ~k)
+        in
+        Builder.two_phase_chain db names
+      in
+      let sys = System.create [ mk (); mk (); mk () ] in
+      let sys', stats = Safety.Early_unlock.minimize_spans sys in
+      stats.Safety.Early_unlock.span_after
+      <= stats.Safety.Early_unlock.span_before
+      &&
+      if Safety.Many.safe_and_deadlock_free sys then
+        Safety.Many.safe_and_deadlock_free sys'
+        && Result.is_ok (Sched.Explore.safe_and_deadlock_free sys')
+      else true)
+
+let test_repair () =
+  let sys = Workload.Gentx.dining_philosophers 4 in
+  (match Analysis.safe_and_deadlock_free sys with
+  | Analysis.Safe_and_deadlock_free -> Alcotest.fail "philosophers must fail"
+  | _ -> ());
+  match Analysis.repair_with_global_order sys with
+  | None -> Alcotest.fail "total orders are repairable"
+  | Some sys' ->
+      check bool_t "repaired certified" true
+        (Analysis.safe_and_deadlock_free sys' = Analysis.Safe_and_deadlock_free);
+      check bool_t "repaired exhaustively clean" true
+        (Result.is_ok (Sched.Explore.safe_and_deadlock_free sys'));
+      (* Access sets are preserved. *)
+      Array.iteri
+        (fun i t ->
+          check bool_t
+            (Printf.sprintf "T%d entities kept" (i + 1))
+            true
+            (Transaction.entities t
+            = Transaction.entities (System.txn sys' i)))
+        (System.txns sys)
+
+let test_repair_rejects_partial_orders () =
+  let sys = Fixtures.fig3 () in
+  check bool_t "partial orders not repairable this way" true
+    (Analysis.repair_with_global_order sys = None)
+
+let repair_always_certifies_prop =
+  QCheck.Test.make
+    ~name:"global-order repair always yields a certified system" ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Workload.Gentx.random_db ~sites:1 ~entities:4 in
+      let mk () =
+        let k = 1 + Random.State.int st 4 in
+        let names =
+          List.map (Db.entity_name db)
+            (Workload.Gentx.random_entity_subset st db ~k)
+        in
+        (* A random (possibly bad) lock order. *)
+        Model.Builder.two_phase_chain db names
+      in
+      let sys = System.create [ mk (); mk (); mk () ] in
+      match Analysis.repair_with_global_order sys with
+      | None -> false
+      | Some sys' ->
+          Analysis.safe_and_deadlock_free sys' = Analysis.Safe_and_deadlock_free)
+
+(* ------------------------------------------------------------------ *)
+(* Pair counterexamples                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pair_counterexample_opposed () =
+  let t1, t2 = Workload.Gentx.opposed_chain_pair 3 in
+  match Analysis.pair_counterexample t1 t2 with
+  | None -> Alcotest.fail "failing pair must have a witness"
+  | Some cex ->
+      let sys = System.create [ t1; t2 ] in
+      check bool_t "legal" true (Sched.Schedule.is_legal sys cex.Analysis.steps);
+      check bool_t "D cyclic" false
+        (Sched.Dgraph.is_serializable sys cex.Analysis.steps);
+      check bool_t "cycle spans both" true
+        (List.sort compare cex.Analysis.d_cycle = [ 0; 1 ])
+
+let test_pair_counterexample_none_when_safe () =
+  let t1, t2 = Workload.Gentx.chain_pair 3 in
+  check bool_t "no witness" true (Analysis.pair_counterexample t1 t2 = None)
+
+let pair_counterexample_prop =
+  QCheck.Test.make
+    ~name:"failing pairs always yield replayable cyclic-D witnesses"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      let t1 = System.txn sys 0 and t2 = System.txn sys 1 in
+      match Analysis.pair_counterexample t1 t2 with
+      | None -> Safety.Pair.safe_and_deadlock_free t1 t2
+      | Some cex ->
+          Sched.Schedule.is_legal sys cex.Analysis.steps
+          && not (Sched.Dgraph.is_serializable sys cex.Analysis.steps))
+
+(* ------------------------------------------------------------------ *)
+(* Witness minimization                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_minimize_philosophers () =
+  (* 5 philosophers + 2 irrelevant transactions: the core should keep the
+     ring and drop the bystanders. *)
+  let ring = Workload.Gentx.dining_philosophers 5 in
+  let db = System.db ring in
+  let bystander = Model.Builder.two_phase_chain db [ "f0" ] in
+  let sys =
+    System.create (Array.to_list (System.txns ring) @ [ bystander; bystander ])
+  in
+  match Minimize.deadlock_core sys with
+  | None -> Alcotest.fail "system deadlocks; expected a core"
+  | Some r ->
+      check bool_t "core still deadlocks" false
+        (Sched.Explore.deadlock_free r.Minimize.core);
+      check bool_t "no bystanders" true
+        (List.for_all (fun i -> i < 5) r.Minimize.kept_txns);
+      (* The philosophers ring is already minimal: all 5 stay. *)
+      check int_t "ring kept" 5 (System.size r.Minimize.core)
+
+let test_minimize_drops_entities () =
+  (* An opposed pair plus a private entity each: the private accesses get
+     stripped from the core. *)
+  let db = Model.Db.one_site_per_entity [ "a"; "b"; "p"; "q" ] in
+  let t1 = Model.Builder.two_phase_chain db [ "a"; "p"; "b" ] in
+  let t2 = Model.Builder.two_phase_chain db [ "b"; "q"; "a" ] in
+  let sys = System.create [ t1; t2 ] in
+  match Minimize.deadlock_core sys with
+  | None -> Alcotest.fail "expected a core"
+  | Some r ->
+      check int_t "2 txns" 2 (System.size r.Minimize.core);
+      check bool_t "entities dropped" true
+        (List.length r.Minimize.dropped_entities >= 2);
+      Array.iter
+        (fun t -> check int_t "core accesses only a,b" 2
+            (List.length (Transaction.entities t)))
+        (System.txns r.Minimize.core)
+
+let test_minimize_none_for_deadlock_free () =
+  let db = Model.Db.one_site_per_entity [ "a"; "b" ] in
+  let sys =
+    System.create
+      [
+        Model.Builder.two_phase_chain db [ "a"; "b" ];
+        Model.Builder.two_phase_chain db [ "a"; "b" ];
+      ]
+  in
+  check bool_t "no core for DF systems" true
+    (Minimize.deadlock_core sys = None)
+
+let minimize_core_minimal_prop =
+  QCheck.Test.make
+    ~name:"minimized cores deadlock and are txn-minimal" ~count:30
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      match Minimize.deadlock_core sys with
+      | None -> Sched.Explore.deadlock_free sys
+      | Some r ->
+          (not (Sched.Explore.deadlock_free r.Minimize.core))
+          && (* dropping any single whole transaction breaks the deadlock *)
+          (System.size r.Minimize.core < 2
+          || List.for_all
+               (fun drop ->
+                 let rest =
+                   List.filteri (fun i _ -> i <> drop)
+                     (Array.to_list (System.txns r.Minimize.core))
+                 in
+                 List.length rest < 2
+                 || Sched.Explore.deadlock_free (System.create rest))
+               (List.init (System.size r.Minimize.core) Fun.id)))
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [
+      early_unlock_preserves_prop;
+      repair_always_certifies_prop;
+      minimize_core_minimal_prop;
+      pair_counterexample_prop;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "analysis safe" `Quick test_analysis_safe;
+    Alcotest.test_case "analysis philosophers" `Quick
+      test_analysis_philosophers;
+    Alcotest.test_case "analysis gave up" `Quick test_analysis_gave_up;
+    Alcotest.test_case "analysis polynomial shortcut" `Quick
+      test_analysis_polynomial_shortcut;
+    Alcotest.test_case "dot outputs" `Quick test_dot_outputs;
+    Alcotest.test_case "lock span" `Quick test_span;
+    Alcotest.test_case "early unlock: private entities" `Quick
+      test_early_unlock_private_entities;
+    Alcotest.test_case "early unlock: guards kept" `Quick
+      test_early_unlock_guards_kept;
+    Alcotest.test_case "early unlock: uncertified input" `Quick
+      test_early_unlock_uncertified_input;
+    Alcotest.test_case "repair: philosophers" `Quick test_repair;
+    Alcotest.test_case "repair: partial orders" `Quick
+      test_repair_rejects_partial_orders;
+    Alcotest.test_case "minimize: philosophers" `Quick
+      test_minimize_philosophers;
+    Alcotest.test_case "minimize: drops entities" `Quick
+      test_minimize_drops_entities;
+    Alcotest.test_case "minimize: none when DF" `Quick
+      test_minimize_none_for_deadlock_free;
+    Alcotest.test_case "pair cex: opposed" `Quick
+      test_pair_counterexample_opposed;
+    Alcotest.test_case "pair cex: none when safe" `Quick
+      test_pair_counterexample_none_when_safe;
+  ]
+  @ qtests

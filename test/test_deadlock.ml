@@ -1,0 +1,263 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_deadlock
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: the worked example of §3                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_prefix_is_deadlock_prefix () =
+  let sys = Fixtures.fig1 () in
+  let p = Fixtures.fig1_deadlock_prefix sys in
+  check bool_t "valid prefix vector" true (State.is_valid sys p);
+  let r = Reduction.make sys p in
+  check bool_t "reduction graph cyclic" true (Reduction.has_cycle r);
+  check bool_t "is deadlock prefix" true (Reduction.is_deadlock_prefix sys p);
+  match Reduction.deadlock_prefix_witness sys p with
+  | None -> Alcotest.fail "expected witness"
+  | Some (sched, cycle) ->
+      check bool_t "schedule legal" true (Schedule.is_legal sys sched);
+      check bool_t "schedule realizes prefix" true
+        (State.equal (Schedule.prefix_vector sys sched) p);
+      (* The cycle must pass through all three transactions. *)
+      let txs = List.sort_uniq compare (List.map (fun s -> s.Step.txn) cycle) in
+      check (Alcotest.list int_t) "cycle spans T1 T2 T3" [ 0; 1; 2 ] txs
+
+let test_fig1_deadlocks () =
+  let sys = Fixtures.fig1 () in
+  check bool_t "not deadlock free (schedules)" false (Explore.deadlock_free sys);
+  check bool_t "not deadlock free (prefixes)" false
+    (Prefix_search.deadlock_free sys)
+
+let test_fig1_reduction_arcs () =
+  (* In the empty prefix the reduction graph is exactly the union of the
+     transactions' own arcs: no lock arcs, hence acyclic. *)
+  let sys = Fixtures.fig1 () in
+  let r = Reduction.make sys (State.initial sys) in
+  check bool_t "acyclic at start" false (Reduction.has_cycle r);
+  (* The full prefix has an empty reduction graph. *)
+  let r = Reduction.make sys (State.final sys) in
+  check bool_t "empty at end" false (Reduction.has_cycle r)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let theorem1_prop =
+  QCheck.Test.make
+    ~name:"Theorem 1: deadlock partial schedule ⇔ deadlock prefix" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      let by_schedules, by_prefixes = Theorem1.verdicts sys in
+      by_schedules = by_prefixes)
+
+let theorem1_three_txn_prop =
+  QCheck.Test.make ~name:"Theorem 1 on 3-transaction systems" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      let by_schedules, by_prefixes = Theorem1.verdicts sys in
+      by_schedules = by_prefixes)
+
+let test_centralized_witness () =
+  (* §3 remark: from a deadlock partial schedule, the projected total
+     orders form a centralized system that also deadlocks. *)
+  let sys = Fixtures.fig1 () in
+  match Explore.find_deadlock sys with
+  | None -> Alcotest.fail "fig1 deadlocks"
+  | Some (steps, _) ->
+      let centr = Theorem1.centralized_witness sys steps in
+      check int_t "same size" 3 (System.size centr);
+      check bool_t "projection deadlocks too" false
+        (Explore.deadlock_free centr);
+      (* The same step sequence must replay legally on the total orders
+         once node ids are rebuilt; at minimum the witness system must be
+         made of total orders. *)
+      Array.iter
+        (fun t ->
+          check bool_t "total order" true (Ddlock_safety.Lemma2.is_total t))
+        (System.txns centr)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 and Tirri                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_tirri_misses_deadlock () =
+  let _, t = Fixtures.fig2_txn () in
+  let sys = Fixtures.fig2 () in
+  check bool_t "Tirri claims deadlock-free" true
+    (Tirri.claims_deadlock_free t t);
+  check bool_t "but the system deadlocks" false (Explore.deadlock_free sys);
+  check bool_t "prefix search agrees" false (Prefix_search.deadlock_free sys)
+
+let test_fig2_four_entity_cycle () =
+  (* The witness reduction-graph cycle involves more than two entities. *)
+  let sys = Fixtures.fig2 () in
+  match Prefix_search.find sys with
+  | None -> Alcotest.fail "expected deadlock prefix"
+  | Some w ->
+      check bool_t "schedule legal" true
+        (Schedule.is_legal sys w.Prefix_search.schedule);
+      let entities_on_cycle =
+        List.sort_uniq compare
+          (List.map
+             (fun (s : Step.t) ->
+               (Transaction.node (System.txn sys s.txn) s.node).Node.entity)
+             w.Prefix_search.cycle)
+      in
+      check bool_t "cycle uses > 2 entities" true
+        (List.length entities_on_cycle > 2)
+
+let test_tirri_finds_classic_pair () =
+  (* On the classic opposed pair Tirri's premise does hold. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t1 = Builder.two_phase_chain db [ "a"; "b" ] in
+  let t2 = Builder.two_phase_chain db [ "b"; "a" ] in
+  check bool_t "pair found" false (Tirri.claims_deadlock_free t1 t2)
+
+(* Tirri soundness direction that DOES hold: whenever Tirri finds no pair
+   on two centralized (total order) transactions, the pair really is
+   deadlock free.  (The error is specific to partial orders.) *)
+let tirri_centralized_prop =
+  QCheck.Test.make
+    ~name:"on total orders, no-Tirri-pair implies deadlock-free" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Ddlock_workload.Gentx.random_db ~sites:1 ~entities:4 in
+      let k () = 1 + Random.State.int st 4 in
+      let t1 =
+        Ddlock_workload.Gentx.random_transaction st db
+          ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k:(k ()))
+          ~density:0.3
+      in
+      let t2 =
+        Ddlock_workload.Gentx.random_transaction st db
+          ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k:(k ()))
+          ~density:0.3
+      in
+      let sys = System.create [ t1; t2 ] in
+      QCheck.assume (Tirri.claims_deadlock_free t1 t2);
+      Explore.deadlock_free sys)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig3 () =
+  let sys = Fixtures.fig3 () in
+  check bool_t "distributed pair deadlock-free" true (Explore.deadlock_free sys);
+  check bool_t "some extension pair deadlocks" true
+    (Theorem1.extension_pair_deadlocks sys)
+
+(* The converse reduction (§3): if the distributed system deadlocks, some
+   extension tuple deadlocks. *)
+let extension_reduction_prop =
+  QCheck.Test.make
+    ~name:"deadlock implies some extension pair deadlocks (§3)" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      (* Keep transactions tiny: extension enumeration is factorial. *)
+      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:2 in
+      let mk () =
+        Ddlock_workload.Gentx.random_transaction st db
+          ~entities:
+            (Ddlock_workload.Gentx.random_entity_subset st db
+               ~k:(1 + Random.State.int st 2))
+          ~density:0.3
+      in
+      let sys = System.create [ mk (); mk () ] in
+      QCheck.assume (not (Explore.deadlock_free sys));
+      Theorem1.extension_pair_deadlocks sys)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6 and guard rings                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig6 () =
+  let t = Fixtures.fig6_txn () in
+  check bool_t "2 copies deadlock-free" true
+    (Explore.deadlock_free (System.copies t 2));
+  check bool_t "3 copies deadlock" false
+    (Explore.deadlock_free (System.copies t 3));
+  (* Consistency with Theorem 5: the copies are NOT safe∧DF, so the
+     theorem (about safe∧DF) is not contradicted. *)
+  check bool_t "not safe&df" false (Ddlock_safety.Copies.safe_and_deadlock_free t)
+
+let test_guard_ring_parity () =
+  (* Two copies of a k-ring deadlock iff k is even: a reduction-graph
+     cycle alternates the two transactions along the ring, which needs an
+     even number of hops.  (Fig. 2 is the 4-ring, Fig. 6 the 3-ring.) *)
+  List.iter
+    (fun k ->
+      let t = Ddlock_workload.Gentx.guard_ring k in
+      let df = Explore.deadlock_free (System.copies t 2) in
+      check bool_t
+        (Printf.sprintf "2 copies of %d-ring: df=%b" k (k mod 2 = 1))
+        (k mod 2 = 1) df)
+    [ 2; 3; 4; 5; 6 ];
+  (* Three copies of any ring deadlock. *)
+  List.iter
+    (fun k ->
+      let t = Ddlock_workload.Gentx.guard_ring k in
+      check bool_t
+        (Printf.sprintf "3 copies of %d-ring deadlock" k)
+        false
+        (Explore.deadlock_free (System.copies t 3)))
+    [ 3; 4 ]
+
+(* §3 / [KP2]: safety (unlike DF) DOES reduce to extension pairs. *)
+let kp2_safety_reduction_prop =
+  QCheck.Test.make
+    ~name:"[KP2] pair safety = all extension pairs safe" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:2 in
+      let mk () =
+        Ddlock_workload.Gentx.random_transaction st db
+          ~entities:
+            (Ddlock_workload.Gentx.random_entity_subset st db
+               ~k:(1 + Random.State.int st 2))
+          ~density:0.3
+      in
+      let sys = System.create [ mk (); mk () ] in
+      Result.is_ok (Explore.safe sys) = Theorem1.extension_pairs_all_safe sys)
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [
+      theorem1_prop;
+      kp2_safety_reduction_prop;
+      theorem1_three_txn_prop;
+      tirri_centralized_prop;
+      extension_reduction_prop;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "fig1 deadlock prefix" `Quick
+      test_fig1_prefix_is_deadlock_prefix;
+    Alcotest.test_case "fig1 deadlocks" `Quick test_fig1_deadlocks;
+    Alcotest.test_case "fig1 reduction arcs" `Quick test_fig1_reduction_arcs;
+    Alcotest.test_case "centralized witness (§3)" `Quick
+      test_centralized_witness;
+    Alcotest.test_case "fig2: Tirri misses the deadlock" `Quick
+      test_fig2_tirri_misses_deadlock;
+    Alcotest.test_case "fig2: >2-entity cycle" `Quick
+      test_fig2_four_entity_cycle;
+    Alcotest.test_case "tirri finds classic pair" `Quick
+      test_tirri_finds_classic_pair;
+    Alcotest.test_case "fig3" `Quick test_fig3;
+    Alcotest.test_case "fig6" `Quick test_fig6;
+    Alcotest.test_case "guard ring parity" `Quick test_guard_ring_parity;
+  ]
+  @ qtests

@@ -1,0 +1,160 @@
+(* Edge cases across the whole API surface: empty/degenerate inputs,
+   single transactions, trivial systems. *)
+
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let test_empty_transaction () =
+  let db = Db.one_site_per_entity [ "a" ] in
+  let t = Transaction.make_exn db [||] [] in
+  check int_t "no nodes" 0 (Transaction.node_count t);
+  check bool_t "accesses nothing" true (Transaction.entities t = []);
+  check bool_t "two phase" true (Transaction.is_two_phase t);
+  check int_t "one (empty) extension" 1 (Transaction.count_linear_extensions t);
+  (* Pairs with an empty transaction are trivially safe & DF. *)
+  let u = Ddlock_workload.Gentx.guard_ring 3 in
+  let t' = Transaction.make_exn (Transaction.db u) [||] [] in
+  check bool_t "pair with empty" true (Ddlock_safety.Pair.safe_and_deadlock_free t' u)
+
+let test_single_transaction_system () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let sys = System.create [ Builder.two_phase_chain db [ "a"; "b" ] ] in
+  check bool_t "deadlock free" true (Explore.deadlock_free sys);
+  check bool_t "safe&df" true (Result.is_ok (Explore.safe_and_deadlock_free sys));
+  check bool_t "theorem 4" true (Ddlock_safety.Many.safe_and_deadlock_free sys);
+  check int_t "one complete schedule" 1 (Explore.count_complete_schedules sys);
+  (* Prefix search agrees. *)
+  check bool_t "prefix search" true (Ddlock_deadlock.Prefix_search.deadlock_free sys)
+
+let test_copies_one () =
+  let t = Ddlock_workload.Gentx.guard_ring 3 in
+  let sys = System.copies t 1 in
+  check int_t "size 1" 1 (System.size sys);
+  check bool_t "alone is fine" true (Explore.deadlock_free sys);
+  Alcotest.check_raises "k=0 rejected" (Invalid_argument "System.copies: k < 1")
+    (fun () -> ignore (System.copies t 0))
+
+let test_single_entity_pair () =
+  (* One shared entity: condition 1 is satisfiable trivially, condition 2
+     is vacuous; always safe & deadlock-free. *)
+  let db = Db.one_site_per_entity [ "x" ] in
+  let t () = Builder.two_phase_chain db [ "x" ] in
+  check bool_t "pair" true (Ddlock_safety.Pair.safe_and_deadlock_free (t ()) (t ()));
+  check bool_t "exhaustive" true
+    (Result.is_ok (Explore.safe_and_deadlock_free (System.create [ t (); t () ])))
+
+let test_reduction_of_full_prefix () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 3 in
+  let r = Ddlock_deadlock.Reduction.make sys (State.final sys) in
+  check bool_t "empty graph acyclic" false (Ddlock_deadlock.Reduction.has_cycle r);
+  check bool_t "no cycle" true (Ddlock_deadlock.Reduction.find_cycle r = None)
+
+let test_empty_schedule () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 3 in
+  check bool_t "legal" true (Schedule.is_legal sys []);
+  check bool_t "not complete" false (Schedule.is_complete sys []);
+  check bool_t "serializable" true (Dgraph.is_serializable sys []);
+  check int_t "no arcs" 0 (List.length (Dgraph.arcs sys []))
+
+let test_geometry_disjoint_pair () =
+  let db = Db.single_site [ "a"; "b" ] in
+  let t1 = Builder.two_phase_chain db [ "a" ] in
+  let t2 = Builder.two_phase_chain db [ "b" ] in
+  check bool_t "df" true (Ddlock_safety.Geometry.deadlock_free t1 t2);
+  check bool_t "safe" true (Ddlock_safety.Geometry.safe t1 t2)
+
+let test_analysis_single_site () =
+  (* Purely centralized systems flow through the same pipeline. *)
+  let db = Db.single_site [ "a"; "b"; "c" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a"; "b"; "c" ];
+        Builder.two_phase_chain db [ "a"; "c" ];
+      ]
+  in
+  let r = Ddlock.Analysis.report sys in
+  check int_t "one site" 1 r.Ddlock.Analysis.site_count;
+  check bool_t "safe" true
+    (r.Ddlock.Analysis.safety = Ddlock.Analysis.Safe_and_deadlock_free)
+
+let test_dpll_trivial () =
+  let open Ddlock_conp in
+  check bool_t "empty formula sat" true
+    (Dpll.satisfiable Formula.{ n_vars = 0; clauses = [] });
+  check bool_t "empty clause unsat" false
+    (Dpll.satisfiable Formula.{ n_vars = 1; clauses = [ [] ] });
+  check int_t "0 vars 1 model" 1
+    (Dpll.count_models Formula.{ n_vars = 0; clauses = [] })
+
+let test_tree_root_only () =
+  let db = Db.single_site [ "r" ] in
+  let tr = Ddlock_safety.Policy.Tree.create db ~root:"r" ~edges:[] in
+  let t = Builder.two_phase_chain db [ "r" ] in
+  check bool_t "root-only obeys" true (Ddlock_safety.Policy.Tree.obeys tr t = Ok ())
+
+let test_early_unlock_single_entity () =
+  let db = Db.single_site [ "a" ] in
+  let sys =
+    System.create
+      [ Builder.two_phase_chain db [ "a" ]; Builder.two_phase_chain db [ "a" ] ]
+  in
+  let _, stats = Ddlock_safety.Early_unlock.minimize_spans sys in
+  (* Spans of single-entity chains are already minimal. *)
+  check int_t "no swaps" 0 stats.Ddlock_safety.Early_unlock.swaps
+
+let test_narrate_empty () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 2 in
+  check (Alcotest.list Alcotest.string) "status only" [ "(partial)" ]
+    (Narrate.narrate sys [])
+
+let test_state_holder_none () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 2 in
+  let st = State.initial sys in
+  check bool_t "nothing held" true (State.holder sys st 0 = None);
+  check bool_t "not deadlock" false (State.is_deadlock sys st);
+  check bool_t "not finished" false (State.all_finished sys st)
+
+let test_db_empty_site () =
+  let db = Db.create [ ("s1", [ "x" ]); ("s2", []) ] in
+  check int_t "two sites" 2 (Db.site_count db);
+  check (Alcotest.list int_t) "empty site" [] (Db.entities_of_site db 1)
+
+let test_bitset_zero_capacity () =
+  let s = Bitset.create 0 in
+  check bool_t "empty" true (Bitset.is_empty s);
+  check int_t "cardinal" 0 (Bitset.cardinal s);
+  check bool_t "choose" true (Bitset.choose s = None)
+
+let test_guard_ring_two () =
+  (* k=2 ring: even, so 2 copies deadlock (the smallest even case). *)
+  let t = Ddlock_workload.Gentx.guard_ring 2 in
+  check bool_t "2 copies deadlock" false (Explore.deadlock_free (System.copies t 2))
+
+let suite =
+  [
+    Alcotest.test_case "empty transaction" `Quick test_empty_transaction;
+    Alcotest.test_case "single-transaction system" `Quick
+      test_single_transaction_system;
+    Alcotest.test_case "copies k=1 / k=0" `Quick test_copies_one;
+    Alcotest.test_case "single shared entity" `Quick test_single_entity_pair;
+    Alcotest.test_case "reduction of full prefix" `Quick
+      test_reduction_of_full_prefix;
+    Alcotest.test_case "empty schedule" `Quick test_empty_schedule;
+    Alcotest.test_case "geometry disjoint" `Quick test_geometry_disjoint_pair;
+    Alcotest.test_case "analysis single site" `Quick test_analysis_single_site;
+    Alcotest.test_case "dpll trivial" `Quick test_dpll_trivial;
+    Alcotest.test_case "tree root only" `Quick test_tree_root_only;
+    Alcotest.test_case "early unlock single entity" `Quick
+      test_early_unlock_single_entity;
+    Alcotest.test_case "narrate empty" `Quick test_narrate_empty;
+    Alcotest.test_case "state holder none" `Quick test_state_holder_none;
+    Alcotest.test_case "db empty site" `Quick test_db_empty_site;
+    Alcotest.test_case "bitset zero capacity" `Quick test_bitset_zero_capacity;
+    Alcotest.test_case "guard ring k=2" `Quick test_guard_ring_two;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "ddlock"
+    [
+      ("graph", Test_graph.suite);
+      ("model", Test_model.suite);
+      ("schedule", Test_schedule.suite);
+      ("deadlock", Test_deadlock.suite);
+      ("safety", Test_safety.suite);
+      ("conp", Test_conp.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("policy", Test_policy.suite);
+      ("rw", Test_rw.suite);
+      ("semantics", Test_semantics.suite);
+      ("edge", Test_edge.suite);
+    ]

@@ -1,0 +1,155 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_safety
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase locking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_violations () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t = Builder.total_exn db Builder.[ L "a"; U "a"; L "b"; U "b" ] in
+  let vs = Policy.two_phase_violations t in
+  check int_t "one violation" 1 (List.length vs);
+  let a = Db.find_entity_exn db "a" and b = Db.find_entity_exn db "b" in
+  check bool_t "Ua before Lb" true (vs = [ (a, b) ]);
+  check int_t "2PL has none" 0
+    (List.length
+       (Policy.two_phase_violations (Builder.two_phase_chain db [ "a"; "b" ])))
+
+let test_make_two_phase () =
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let t =
+    Builder.total_exn db
+      Builder.[ L "a"; U "a"; L "b"; U "b"; L "c"; U "c" ]
+  in
+  let t' = Policy.make_two_phase t in
+  check bool_t "result is 2PL" true (Policy.is_two_phase t');
+  check bool_t "same entities" true
+    (Transaction.entities t = Transaction.entities t');
+  (* Lock order preserved: a before b before c. *)
+  let l x = Transaction.lock_node_exn t' (Db.find_entity_exn db x) in
+  check bool_t "La < Lb" true (Transaction.precedes t' (l "a") (l "b"));
+  check bool_t "Lb < Lc" true (Transaction.precedes t' (l "b") (l "c"))
+
+(* Eswaran et al.: every system of 2PL transactions is safe (though not
+   necessarily deadlock-free). *)
+let two_phase_safe_prop =
+  QCheck.Test.make ~name:"2PL systems are always safe (EGLT)" ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:3 in
+      let mk () =
+        let k = 1 + Random.State.int st 3 in
+        Policy.make_two_phase
+          (Ddlock_workload.Gentx.random_transaction st db
+             ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k)
+             ~density:1.0)
+      in
+      let sys = System.create [ mk (); mk (); mk () ] in
+      Result.is_ok (Explore.safe sys))
+
+let test_two_phase_not_deadlock_free () =
+  let t1, t2 = Ddlock_workload.Gentx.opposed_chain_pair 2 in
+  check bool_t "both 2PL" true (Policy.is_two_phase t1 && Policy.is_two_phase t2);
+  check bool_t "still deadlocks" false
+    (Explore.deadlock_free (System.create [ t1; t2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tree protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tree_db () = Db.single_site [ "r"; "a"; "b"; "c"; "d" ]
+
+let tree () =
+  Policy.Tree.create (tree_db ()) ~root:"r"
+    ~edges:[ ("r", "a"); ("r", "b"); ("a", "c"); ("a", "d") ]
+
+let test_tree_create_errors () =
+  let db = tree_db () in
+  Alcotest.check_raises "orphan"
+    (Invalid_argument "Policy.Tree.create: entity without parent") (fun () ->
+      ignore (Policy.Tree.create db ~root:"r" ~edges:[ ("r", "a") ]));
+  Alcotest.check_raises "dup child"
+    (Invalid_argument "Policy.Tree.create: duplicate child") (fun () ->
+      ignore
+        (Policy.Tree.create db ~root:"r"
+           ~edges:
+             [ ("r", "a"); ("r", "b"); ("a", "c"); ("a", "d"); ("b", "d") ]))
+
+let test_tree_structure () =
+  let tr = tree () in
+  let db = tree_db () in
+  let e x = Db.find_entity_exn db x in
+  check (Alcotest.option int_t) "root no parent" None
+    (Policy.Tree.parent tr (e "r"));
+  check (Alcotest.option int_t) "parent of c" (Some (e "a"))
+    (Policy.Tree.parent tr (e "c"));
+  check int_t "digraph arcs" 4
+    (Ddlock_graph.Digraph.edge_count (Policy.Tree.to_digraph tr))
+
+let test_tree_obeys () =
+  let tr = tree () in
+  let db = tree_db () in
+  (* r -> a -> c while releasing r early: legal, not 2PL. *)
+  let good =
+    Builder.total_exn db
+      Builder.[ L "r"; L "a"; U "r"; L "c"; U "a"; U "c" ]
+  in
+  check bool_t "good obeys" true (Policy.Tree.obeys tr good = Ok ());
+  check bool_t "good is not 2PL" false (Policy.is_two_phase good);
+  (* Locking c while a is no longer held: violation. *)
+  let bad =
+    Builder.total_exn db
+      Builder.[ L "a"; U "a"; L "c"; U "c" ]
+  in
+  (match Policy.Tree.obeys tr bad with
+  | Error (Policy.Tree.Parent_not_held { child }) ->
+      check Alcotest.string "child c" "c" (Db.entity_name db child)
+  | _ -> Alcotest.fail "expected Parent_not_held");
+  (* First lock may be anything. *)
+  let deep = Builder.total_exn db Builder.[ L "c"; U "c" ] in
+  check bool_t "first lock free" true (Policy.Tree.obeys tr deep = Ok ())
+
+let tree_generator_obeys_prop =
+  QCheck.Test.make ~name:"tree generator output obeys the protocol" ~count:100
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let tr = tree () in
+      let t = Policy.Tree.random_transaction st tr ~steps:4 in
+      Policy.Tree.obeys tr t = Ok ())
+
+(* Silberschatz–Kedem: systems of tree-protocol transactions are
+   serializable AND deadlock-free, without being two-phase. *)
+let tree_protocol_safe_df_prop =
+  QCheck.Test.make
+    ~name:"tree-protocol systems are safe and deadlock-free (SK)" ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let tr = tree () in
+      let mk () = Policy.Tree.random_transaction st tr ~steps:3 in
+      let sys = System.create [ mk (); mk () ] in
+      Result.is_ok (Explore.safe sys) && Explore.deadlock_free sys)
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [ two_phase_safe_prop; tree_generator_obeys_prop; tree_protocol_safe_df_prop ]
+
+let suite =
+  [
+    Alcotest.test_case "2PL violations" `Quick test_violations;
+    Alcotest.test_case "make_two_phase" `Quick test_make_two_phase;
+    Alcotest.test_case "2PL not deadlock-free" `Quick
+      test_two_phase_not_deadlock_free;
+    Alcotest.test_case "tree create errors" `Quick test_tree_create_errors;
+    Alcotest.test_case "tree structure" `Quick test_tree_structure;
+    Alcotest.test_case "tree obeys" `Quick test_tree_obeys;
+  ]
+  @ qtests

@@ -1,0 +1,421 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_safety
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3 (pair test)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pair_chain () =
+  let t1, t2 = Ddlock_workload.Gentx.chain_pair 5 in
+  check bool_t "same-order 2PL chains are safe&DF" true
+    (Pair.safe_and_deadlock_free t1 t2)
+
+let test_pair_opposed () =
+  let t1, t2 = Ddlock_workload.Gentx.opposed_chain_pair 3 in
+  (match Pair.check t1 t2 with
+  | Error (Pair.No_common_first _) -> ()
+  | Error (Pair.Unguarded _) -> Alcotest.fail "expected No_common_first"
+  | Ok () -> Alcotest.fail "opposed chains must fail");
+  check bool_t "exhaustive agrees" false
+    (Result.is_ok (Explore.safe_and_deadlock_free (System.create [ t1; t2 ])))
+
+let test_pair_unguarded () =
+  (* Same first entity but an early unlock leaves y unguarded:
+     T1 = La Ua Lb Ub (not 2PL), T2 = La Lb Ua Ub. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t1 = Builder.total_exn db Builder.[ L "a"; U "a"; L "b"; U "b" ] in
+  let t2 = Builder.two_phase_chain db [ "a"; "b" ] in
+  (match Pair.check t1 t2 with
+  | Error (Pair.Unguarded { y; _ }) ->
+      check Alcotest.string "y is b" "b" (Db.entity_name db y)
+  | Error (Pair.No_common_first _) -> Alcotest.fail "expected Unguarded"
+  | Ok () -> Alcotest.fail "must fail");
+  check bool_t "exhaustive agrees" false
+    (Result.is_ok (Explore.safe_and_deadlock_free (System.create [ t1; t2 ])))
+
+let test_pair_disjoint () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t1 = Builder.two_phase_chain db [ "a" ] in
+  let t2 = Builder.two_phase_chain db [ "b" ] in
+  check bool_t "disjoint pairs trivially pass" true
+    (Pair.safe_and_deadlock_free t1 t2)
+
+let test_common_first () =
+  let t1, t2 = Ddlock_workload.Gentx.chain_pair 3 in
+  let db = Transaction.db t1 in
+  (match Pair.common_first t1 t2 with
+  | Some x -> check Alcotest.string "e0 first" "e0" (Db.entity_name db x)
+  | None -> Alcotest.fail "expected common first");
+  let o1, o2 = Ddlock_workload.Gentx.opposed_chain_pair 3 in
+  check bool_t "opposed: none" true (Pair.common_first o1 o2 = None)
+
+(* The headline agreement property: Theorem 3 ≡ exhaustive Lemma-1 search
+   on random distributed pairs. *)
+let theorem3_agreement_prop =
+  QCheck.Test.make
+    ~name:"Theorem 3 = exhaustive safe∧DF (random distributed pairs)"
+    ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      let fast =
+        Pair.safe_and_deadlock_free (System.txn sys 0) (System.txn sys 1)
+      in
+      let slow = Result.is_ok (Explore.safe_and_deadlock_free sys) in
+      fast = slow)
+
+let minimal_prefix_agreement_prop =
+  QCheck.Test.make ~name:"O(n³) minimal-prefix decider = Theorem 3" ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      let t1 = System.txn sys 0 and t2 = System.txn sys 1 in
+      Minimal_prefix.safe_and_deadlock_free t1 t2
+      = Pair.safe_and_deadlock_free t1 t2)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 2 (centralized pairs)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let centralized_pair st =
+  let db = Ddlock_workload.Gentx.random_db ~sites:1 ~entities:4 in
+  let mk () =
+    Ddlock_workload.Gentx.random_transaction st db
+      ~entities:
+        (Ddlock_workload.Gentx.random_entity_subset st db
+           ~k:(1 + Random.State.int st 4))
+      ~density:0.2
+  in
+  (db, mk (), mk ())
+
+let lemma2_agreement_prop =
+  QCheck.Test.make ~name:"Lemma 2 = exhaustive (centralized pairs)" ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let _, t1, t2 = centralized_pair st in
+      let fast = Lemma2.safe_and_deadlock_free t1 t2 in
+      let slow =
+        Result.is_ok (Explore.safe_and_deadlock_free (System.create [ t1; t2 ]))
+      in
+      fast = slow)
+
+let lemma2_vs_theorem3_prop =
+  QCheck.Test.make ~name:"Theorem 3 restricted to total orders = Lemma 2"
+    ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let _, t1, t2 = centralized_pair st in
+      Lemma2.safe_and_deadlock_free t1 t2 = Pair.safe_and_deadlock_free t1 t2)
+
+let test_lemma2_requires_total () =
+  let _, t = Fixtures.fig3_txn () in
+  check bool_t "fig3 txn is partial" false (Lemma2.is_total t);
+  Alcotest.check_raises "raises"
+    (Invalid_argument "Lemma2.check: transactions must be total orders")
+    (fun () -> ignore (Lemma2.check t t))
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 3 / Theorem 5 (copies)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_copies_chain () =
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let t = Builder.two_phase_chain db [ "a"; "b"; "c" ] in
+  check bool_t "2PL chain copies ok" true (Copies.safe_and_deadlock_free t)
+
+let test_copies_failures () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  (* Early unlock: a no longer guards b at Lb?  La Ua Lb Ub: no guard. *)
+  let t = Builder.total_exn db Builder.[ L "a"; U "a"; L "b"; U "b" ] in
+  (match Copies.check t with
+  | Error (Copies.Unguarded y) ->
+      check Alcotest.string "b unguarded" "b" (Db.entity_name db y)
+  | _ -> Alcotest.fail "expected Unguarded");
+  (* Fig 3 transaction: Lx and Ly incomparable: no first lock. *)
+  let _, t3 = Fixtures.fig3_txn () in
+  match Copies.check t3 with
+  | Error Copies.No_first_lock -> ()
+  | _ -> Alcotest.fail "expected No_first_lock"
+
+let copies_vs_pair_prop =
+  QCheck.Test.make ~name:"Corollary 3 = Theorem 3 on two copies" ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:4 in
+      let t =
+        Ddlock_workload.Gentx.random_transaction st db
+          ~entities:
+            (Ddlock_workload.Gentx.random_entity_subset st db
+               ~k:(1 + Random.State.int st 4))
+          ~density:0.3
+      in
+      Copies.safe_and_deadlock_free t = Pair.safe_and_deadlock_free t t)
+
+let theorem5_prop =
+  QCheck.Test.make
+    ~name:"Theorem 5: 3 copies safe∧DF ⇔ 2 copies safe∧DF (exhaustive)"
+    ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:3 in
+      let t =
+        Ddlock_workload.Gentx.random_transaction st db
+          ~entities:
+            (Ddlock_workload.Gentx.random_entity_subset st db
+               ~k:(1 + Random.State.int st 2))
+          ~density:0.3
+      in
+      let two = Result.is_ok (Explore.safe_and_deadlock_free (System.copies t 2)) in
+      let three =
+        Result.is_ok (Explore.safe_and_deadlock_free (System.copies t 3))
+      in
+      (two = three) && Copies.safe_and_deadlock_free t = two)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4 (many transactions)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_philosophers () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 3 in
+  (* Pairwise: every pair shares exactly one entity, hence safe&DF. *)
+  for i = 0 to 2 do
+    for j = i + 1 to 2 do
+      check bool_t
+        (Printf.sprintf "pair %d %d" i j)
+        true
+        (Pair.safe_and_deadlock_free (System.txn sys i) (System.txn sys j))
+    done
+  done;
+  match Many.check sys with
+  | Many.Cycle_fails w ->
+      check int_t "cycle length 3" 3 (List.length w.Many.cycle);
+      (* The witness S* must be a legal partial schedule with cyclic D. *)
+      check bool_t "S* legal" true (Schedule.is_legal sys w.Many.schedule);
+      check bool_t "D(S*) cyclic" false
+        (Dgraph.is_serializable sys w.Many.schedule);
+      (* And the system really does deadlock. *)
+      check bool_t "deadlocks" false (Explore.deadlock_free sys)
+  | v ->
+      Alcotest.failf "expected Cycle_fails, got %s"
+        (Format.asprintf "%a" (Many.pp_verdict sys) v)
+
+let test_philosophers_sizes () =
+  List.iter
+    (fun k ->
+      let sys = Ddlock_workload.Gentx.dining_philosophers k in
+      check bool_t
+        (Printf.sprintf "philosophers %d not safe&DF" k)
+        false (Many.safe_and_deadlock_free sys))
+    [ 3; 4; 5; 6 ]
+
+let test_many_pair_failure_detected () =
+  let t1, t2 = Ddlock_workload.Gentx.opposed_chain_pair 3 in
+  let db = Transaction.db t1 in
+  let t3 = Builder.two_phase_chain db [ "e0" ] in
+  match Many.check (System.create [ t1; t2; t3 ]) with
+  | Many.Pair_fails { i = 0; j = 1; _ } -> ()
+  | v ->
+      Alcotest.failf "expected Pair_fails(0,1), got %s"
+        (Format.asprintf "%a"
+           (Many.pp_verdict (System.create [ t1; t2; t3 ]))
+           v)
+
+let test_many_safe_system () =
+  (* k transactions all locking in the same global order: safe&DF. *)
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a"; "b"; "c" ];
+        Builder.two_phase_chain db [ "a"; "b" ];
+        Builder.two_phase_chain db [ "a"; "c" ];
+      ]
+  in
+  check bool_t "verdict" true (Many.safe_and_deadlock_free sys);
+  check bool_t "exhaustive agrees" true
+    (Result.is_ok (Explore.safe_and_deadlock_free sys))
+
+let theorem4_agreement_prop =
+  QCheck.Test.make ~name:"Theorem 4 = exhaustive (random 3-txn systems)"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      Many.safe_and_deadlock_free sys
+      = Result.is_ok (Explore.safe_and_deadlock_free sys))
+
+let theorem4_agreement_4txn_prop =
+  QCheck.Test.make ~name:"Theorem 4 = exhaustive (random 4-txn systems)"
+    ~count:25
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:4 in
+      Many.safe_and_deadlock_free sys
+      = Result.is_ok (Explore.safe_and_deadlock_free sys))
+
+let theorem4_witness_prop =
+  QCheck.Test.make
+    ~name:"Theorem 4 cycle witness: S* legal with cyclic D" ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      match Many.check sys with
+      | Many.Cycle_fails w ->
+          Schedule.is_legal sys w.Many.schedule
+          && not (Dgraph.is_serializable sys w.Many.schedule)
+      | _ -> true)
+
+let test_theorem4_predecessor_relock_regression () =
+  (* Found by bin/fuzz.exe (seed 1, round 89): the canonical prefix of a
+     cycle transaction may relock entities its predecessor's prefix has
+     already unlocked; an avoid-set that includes the predecessor's full
+     entity set misses this witness.  T2 must be allowed to lock e2
+     (released by T3's prefix) and then e0. *)
+  let db = Db.one_site_per_entity [ "e0"; "e1"; "e2" ] in
+  let t1 =
+    Builder.transaction_exn db
+      ~chains:Builder.[ [ L "e0"; U "e0" ]; [ L "e1"; U "e1" ] ]
+      ()
+  in
+  let t2 =
+    Builder.transaction_exn db
+      ~chains:Builder.[ [ L "e2"; L "e0"; U "e0"; U "e2" ] ]
+      ()
+  in
+  let t3 =
+    Builder.transaction_exn db
+      ~chains:Builder.[ [ L "e2"; L "e1"; U "e1" ] ]
+      ()
+  in
+  let sys = System.create [ t1; t2; t3 ] in
+  check bool_t "exhaustive: not safe&df" false
+    (Result.is_ok (Explore.safe_and_deadlock_free sys));
+  match Many.check sys with
+  | Many.Cycle_fails w ->
+      check bool_t "witness legal" true (Schedule.is_legal sys w.Many.schedule);
+      check bool_t "witness cyclic D" false
+        (Dgraph.is_serializable sys w.Many.schedule)
+  | v ->
+      Alcotest.failf "expected Cycle_fails, got %s"
+        (Format.asprintf "%a" (Many.pp_verdict sys) v)
+
+let test_candidate_count () =
+  (* Philosophers ring of k: exactly one undirected cycle, 2 directions,
+     k last-choices each. *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 5 in
+  check int_t "ring candidates" 10 (Many.candidate_count sys)
+
+(* ------------------------------------------------------------------ *)
+(* Geometry ([LP]/[SW] technique, centralized pairs)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_geometry_known () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let chain = Builder.two_phase_chain db [ "a"; "b" ] in
+  let opposed = Builder.two_phase_chain db [ "b"; "a" ] in
+  check bool_t "chains df" true (Geometry.deadlock_free chain chain);
+  check bool_t "chains safe" true (Geometry.safe chain chain);
+  check bool_t "opposed deadlocks" false (Geometry.deadlock_free chain opposed);
+  (* 2PL pairs are always safe even when they deadlock. *)
+  check bool_t "opposed safe (2PL)" true (Geometry.safe chain opposed);
+  (* The early-unlock shape: deadlock-free but unsafe. *)
+  let t1 = Builder.total_exn db Builder.[ L "a"; U "a"; L "b"; U "b" ] in
+  check bool_t "early-unlock pair df" true (Geometry.deadlock_free t1 chain);
+  check bool_t "early-unlock pair unsafe" false (Geometry.safe t1 chain)
+
+let test_geometry_deadlock_point () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let chain = Builder.two_phase_chain db [ "a"; "b" ] in
+  let opposed = Builder.two_phase_chain db [ "b"; "a" ] in
+  match Geometry.find_deadlock_point chain opposed with
+  | Some (i, j) ->
+      (* Trapped exactly after each grabbed its first lock. *)
+      check (Alcotest.pair int_t int_t) "trap point" (1, 1) (i, j)
+  | None -> Alcotest.fail "expected a deadlock point"
+
+let geometry_df_agreement_prop =
+  QCheck.Test.make
+    ~name:"geometric deadlock test = exhaustive (centralized pairs)"
+    ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let _, t1, t2 = centralized_pair st in
+      Geometry.deadlock_free t1 t2
+      = Explore.deadlock_free (System.create [ t1; t2 ]))
+
+let geometry_safe_agreement_prop =
+  QCheck.Test.make
+    ~name:"geometric safety test = exhaustive (centralized pairs)" ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let _, t1, t2 = centralized_pair st in
+      Geometry.safe t1 t2
+      = Result.is_ok (Explore.safe (System.create [ t1; t2 ])))
+
+let geometry_vs_lemma2_prop =
+  QCheck.Test.make ~name:"geometric conjunction = Lemma 2" ~count:150
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let _, t1, t2 = centralized_pair st in
+      Geometry.safe_and_deadlock_free t1 t2
+      = Lemma2.safe_and_deadlock_free t1 t2)
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [
+      theorem3_agreement_prop;
+      minimal_prefix_agreement_prop;
+      lemma2_agreement_prop;
+      lemma2_vs_theorem3_prop;
+      copies_vs_pair_prop;
+      theorem5_prop;
+      theorem4_agreement_prop;
+      theorem4_agreement_4txn_prop;
+      theorem4_witness_prop;
+      geometry_df_agreement_prop;
+      geometry_safe_agreement_prop;
+      geometry_vs_lemma2_prop;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "pair: chains" `Quick test_pair_chain;
+    Alcotest.test_case "pair: opposed" `Quick test_pair_opposed;
+    Alcotest.test_case "pair: unguarded" `Quick test_pair_unguarded;
+    Alcotest.test_case "pair: disjoint" `Quick test_pair_disjoint;
+    Alcotest.test_case "common first" `Quick test_common_first;
+    Alcotest.test_case "lemma2 requires total" `Quick
+      test_lemma2_requires_total;
+    Alcotest.test_case "copies: chain" `Quick test_copies_chain;
+    Alcotest.test_case "copies: failures" `Quick test_copies_failures;
+    Alcotest.test_case "theorem4: philosophers" `Quick test_philosophers;
+    Alcotest.test_case "theorem4: philosopher sizes" `Quick
+      test_philosophers_sizes;
+    Alcotest.test_case "theorem4: pair failure" `Quick
+      test_many_pair_failure_detected;
+    Alcotest.test_case "theorem4: safe system" `Quick test_many_safe_system;
+    Alcotest.test_case "theorem4: candidate count" `Quick test_candidate_count;
+    Alcotest.test_case "theorem4: predecessor relock regression" `Quick
+      test_theorem4_predecessor_relock_regression;
+    Alcotest.test_case "geometry: known pairs" `Quick test_geometry_known;
+    Alcotest.test_case "geometry: deadlock point" `Quick
+      test_geometry_deadlock_point;
+  ]
+  @ qtests

@@ -1,0 +1,355 @@
+open Ddlock_graph
+open Ddlock_model
+open Ddlock_schedule
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let simple_pair () =
+  (* Two 2PL chains over the same two entities, same order: safe & DF. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t = Builder.two_phase_chain db [ "a"; "b" ] in
+  System.create [ t; Builder.two_phase_chain db [ "a"; "b" ] ]
+
+let opposed_pair () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  System.create
+    [
+      Builder.two_phase_chain db [ "a"; "b" ];
+      Builder.two_phase_chain db [ "b"; "a" ];
+    ]
+
+let steps_of sys spec =
+  (* spec: (txn, op, entity-name) list *)
+  List.map
+    (fun (i, op, name) ->
+      let tx = System.txn sys i in
+      let e = Db.find_entity_exn (System.db sys) name in
+      let node =
+        match op with
+        | `L -> Transaction.lock_node_exn tx e
+        | `U -> Transaction.unlock_node_exn tx e
+      in
+      Step.v i node)
+    spec
+
+(* ------------------------------------------------------------------ *)
+(* Legality                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_serial_legal () =
+  let sys = simple_pair () in
+  let s = Schedule.serial sys [ 0; 1 ] in
+  check bool_t "legal" true (Schedule.is_legal sys s);
+  check bool_t "complete" true (Schedule.is_complete sys s);
+  check bool_t "serializable" true (Dgraph.is_serializable sys s)
+
+let test_lock_respected () =
+  let sys = simple_pair () in
+  (* T1 locks a; T2 tries to lock a while held. *)
+  let s = steps_of sys [ (0, `L, "a"); (1, `L, "a") ] in
+  (match Schedule.check sys s with
+  | Error (Schedule.Lock_held (st, holder)) ->
+      check int_t "holder" 0 holder;
+      check int_t "txn" 1 st.Step.txn
+  | _ -> Alcotest.fail "expected Lock_held");
+  (* After unlock it is fine. *)
+  let s =
+    steps_of sys
+      [ (0, `L, "a"); (0, `L, "b"); (0, `U, "a"); (1, `L, "a") ]
+  in
+  check bool_t "relock after unlock" true (Schedule.is_legal sys s)
+
+let test_precedence_respected () =
+  let sys = simple_pair () in
+  let s = steps_of sys [ (0, `L, "b") ] in
+  (* In the 2PL chain La < Lb, so Lb first is Not_minimal. *)
+  (match Schedule.check sys s with
+  | Error (Schedule.Not_minimal _) -> ()
+  | _ -> Alcotest.fail "expected Not_minimal");
+  let s = steps_of sys [ (0, `L, "a"); (0, `L, "a") ] in
+  (match Schedule.check sys s with
+  | Error (Schedule.Node_repeated _) -> ()
+  | _ -> Alcotest.fail "expected Node_repeated")
+
+(* ------------------------------------------------------------------ *)
+(* D(S)                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dgraph_serial () =
+  let sys = simple_pair () in
+  let s = Schedule.serial sys [ 0; 1 ] in
+  let g = Dgraph.graph sys s in
+  check bool_t "0 -> 1" true (Digraph.mem_edge g 0 1);
+  check bool_t "no 1 -> 0" false (Digraph.mem_edge g 1 0)
+
+let test_dgraph_partial_includes_unlocked_accessors () =
+  let sys = simple_pair () in
+  (* Only T1's La executed: D must already have T1 -> T2 labelled a. *)
+  let s = steps_of sys [ (0, `L, "a") ] in
+  let arcs = Dgraph.arcs sys s in
+  check int_t "arcs" 1 (List.length arcs);
+  let a = List.hd arcs in
+  check int_t "src" 0 a.Dgraph.src;
+  check int_t "dst" 1 a.Dgraph.dst
+
+let test_dgraph_interleaved_cycle () =
+  let sys = opposed_pair () in
+  (* T1: La Lb Ua Ub ; T2: Lb La Ub Ua.  Interleave the first locks:
+     T1.La, T2.Lb -> arcs T1->T2 (a) and T2->T1 (b): cyclic. *)
+  let s = steps_of sys [ (0, `L, "a"); (1, `L, "b") ] in
+  check bool_t "cyclic D" false (Dgraph.is_serializable sys s);
+  match Dgraph.find_cycle sys s with
+  | Some c -> check bool_t "cycle len 2" true (List.length c = 2)
+  | None -> Alcotest.fail "expected cycle"
+
+(* ------------------------------------------------------------------ *)
+(* Explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_explore_counts () =
+  (* Single transaction La Ua: states = 3 (ε, {La}, {La,Ua}). *)
+  let db = Db.one_site_per_entity [ "a" ] in
+  let t = Builder.two_phase_chain db [ "a" ] in
+  let sp = Explore.explore (System.create [ t ]) in
+  check int_t "3 states" 3 (Explore.state_count sp);
+  (* Two such transactions on the same entity: lock exclusion prunes the
+     product: states where both hold a are unreachable. *)
+  let sys = System.create [ t; Builder.two_phase_chain db [ "a" ] ] in
+  let sp = Explore.explore sys in
+  check int_t "8 states" 8 (Explore.state_count sp)
+
+let test_explore_schedule_to () =
+  let sys = simple_pair () in
+  let sp = Explore.explore sys in
+  let target = State.final sys in
+  (match Explore.schedule_to sp target with
+  | None -> Alcotest.fail "final state unreachable"
+  | Some steps ->
+      check bool_t "legal" true (Schedule.is_legal sys steps);
+      check bool_t "complete" true (Schedule.is_complete sys steps));
+  check bool_t "reachable" true (Explore.is_reachable sp target)
+
+let test_deadlock_found () =
+  let sys = opposed_pair () in
+  match Explore.find_deadlock sys with
+  | None -> Alcotest.fail "opposed pair must deadlock"
+  | Some (steps, st) ->
+      check bool_t "schedule legal" true (Schedule.is_legal sys steps);
+      check bool_t "state is deadlock" true (State.is_deadlock sys st);
+      check bool_t "prefix vector matches" true
+        (State.equal (Schedule.prefix_vector sys steps) st)
+
+let test_deadlock_free_simple () =
+  check bool_t "same-order 2PL is deadlock free" true
+    (Explore.deadlock_free (simple_pair ()))
+
+let test_safe_and_df () =
+  (match Explore.safe_and_deadlock_free (simple_pair ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "simple pair must be safe&DF");
+  match Explore.safe_and_deadlock_free (opposed_pair ()) with
+  | Ok () -> Alcotest.fail "opposed pair must fail"
+  | Error cex ->
+      check bool_t "cex schedule legal" true
+        (Schedule.is_legal (opposed_pair ()) cex.Explore.steps);
+      check bool_t "cex cycle nonempty" true (cex.Explore.cycle <> [])
+
+let test_safety_alone () =
+  (* Non-2PL pair that is unsafe: T1 = La Ua Lb Ub, T2 = La Lb Ua Ub...
+     classic: T1 unlocks a before locking b; T2 can sneak in between. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t1 = Builder.total_exn db Builder.[ L "a"; U "a"; L "b"; U "b" ] in
+  let t2 = Builder.two_phase_chain db [ "a"; "b" ] in
+  let sys = System.create [ t1; t2 ] in
+  (match Explore.safe sys with
+  | Ok () -> Alcotest.fail "expected unsafe"
+  | Error cex ->
+      check bool_t "complete" true (Schedule.is_complete sys cex.Explore.steps);
+      check bool_t "not serializable" false
+        (Dgraph.is_serializable sys cex.Explore.steps));
+  (* 2PL systems are always safe (Eswaran et al.): *)
+  check bool_t "2PL safe" true (Result.is_ok (Explore.safe (opposed_pair ())))
+
+let test_has_schedule () =
+  let sys = opposed_pair () in
+  (* Target: both transactions executed their first Lock. *)
+  let target = State.initial sys in
+  let la0 =
+    Transaction.lock_node_exn (System.txn sys 0)
+      (Db.find_entity_exn (System.db sys) "a")
+  in
+  let lb1 =
+    Transaction.lock_node_exn (System.txn sys 1)
+      (Db.find_entity_exn (System.db sys) "b")
+  in
+  Bitset.set target.(0) la0;
+  Bitset.set target.(1) lb1;
+  (match Explore.has_schedule sys target with
+  | None -> Alcotest.fail "prefix must have a schedule"
+  | Some steps ->
+      check bool_t "legal" true (Schedule.is_legal sys steps);
+      check bool_t "reaches target" true
+        (State.equal (Schedule.prefix_vector sys steps) target));
+  (* An illegal target: both hold a simultaneously. *)
+  let bad = State.initial sys in
+  Bitset.set bad.(0) la0;
+  let la1 =
+    Transaction.lock_node_exn (System.txn sys 1)
+      (Db.find_entity_exn (System.db sys) "a")
+  in
+  Bitset.set bad.(1)
+    (Transaction.lock_node_exn (System.txn sys 1)
+       (Db.find_entity_exn (System.db sys) "b"));
+  Bitset.set bad.(1) la1;
+  check bool_t "unschedulable prefix" true (Explore.has_schedule sys bad = None)
+
+let test_complete_schedules_count () =
+  (* Two independent transactions La Ua / Lb Ub: interleavings of 2+2 =
+     C(4,2) = 6. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let sys =
+    System.create
+      [ Builder.two_phase_chain db [ "a" ]; Builder.two_phase_chain db [ "b" ] ]
+  in
+  check int_t "6 interleavings" 6 (Explore.count_complete_schedules sys)
+
+let test_random_run () =
+  let st = Fixtures.rng 42 in
+  let sys = simple_pair () in
+  for _ = 1 to 20 do
+    match Explore.random_run st sys with
+    | Explore.Completed steps ->
+        check bool_t "complete" true (Schedule.is_complete sys steps)
+    | Explore.Deadlocked _ -> Alcotest.fail "simple pair cannot deadlock"
+  done;
+  (* The opposed pair must deadlock for SOME seed over many runs. *)
+  let sys = opposed_pair () in
+  let saw_deadlock = ref false in
+  for _ = 1 to 200 do
+    match Explore.random_run st sys with
+    | Explore.Deadlocked (steps, dstate) ->
+        saw_deadlock := true;
+        check bool_t "deadlock state" true (State.is_deadlock sys dstate);
+        check bool_t "steps legal" true (Schedule.is_legal sys steps)
+    | Explore.Completed _ -> ()
+  done;
+  check bool_t "saw deadlock" true !saw_deadlock
+
+(* Lemma 1 sanity on random systems: the Lemma-1 decider must equal
+   (safe alone) ∧ (deadlock-free alone). *)
+let lemma1_decomposition_prop =
+  QCheck.Test.make ~name:"Lemma 1: safe∧DF = safe × deadlock-free" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      let both = Result.is_ok (Explore.safe_and_deadlock_free sys) in
+      let safe = Result.is_ok (Explore.safe sys) in
+      let df = Explore.deadlock_free sys in
+      both = (safe && df))
+
+(* ------------------------------------------------------------------ *)
+(* Narration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_narrate () =
+  let sys = opposed_pair () in
+  let steps = steps_of sys [ (0, `L, "a"); (1, `L, "b") ] in
+  let lines = Narrate.narrate sys steps in
+  check int_t "3 lines" 3 (List.length lines);
+  check bool_t "deadlock status" true (List.mem "DEADLOCK" lines);
+  check bool_t "ordering note" true
+    (List.exists
+       (fun l ->
+         l = "T1 locks a  (orders T1 before T2 on a)")
+       lines);
+  let full = Narrate.explain_deadlock sys steps in
+  check bool_t "blocked lines" true
+    (List.mem "T1 is blocked: needs b, held by T2" full
+    && List.mem "T2 is blocked: needs a, held by T1" full)
+
+let test_narrate_complete () =
+  let sys = simple_pair () in
+  let s = Schedule.serial sys [ 0; 1 ] in
+  let lines = Narrate.narrate sys s in
+  check bool_t "finished status" true
+    (List.mem "all transactions finished" lines);
+  check int_t "one line per step + status" (List.length s + 1)
+    (List.length lines)
+
+let narrate_linewise_prop =
+  QCheck.Test.make ~name:"narration length & status match the run" ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:2 in
+      match Explore.random_run st sys with
+      | Explore.Completed steps ->
+          let lines = Narrate.narrate sys steps in
+          List.length lines = List.length steps + 1
+          && List.mem "all transactions finished" lines
+      | Explore.Deadlocked (steps, _) ->
+          List.mem "DEADLOCK" (Narrate.narrate sys steps))
+
+let sched_text_roundtrip_prop =
+  QCheck.Test.make ~name:"schedule text round-trips" ~count:80
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:2 in
+      let steps =
+        match Explore.random_run st sys with
+        | Explore.Completed s | Explore.Deadlocked (s, _) -> s
+      in
+      match Sched_text.parse sys (Sched_text.to_text sys steps) with
+      | Ok steps' -> steps = steps'
+      | Error _ -> false)
+
+let test_sched_text_errors () =
+  let sys = simple_pair () in
+  let bad = [ "T9 L a"; "T1 X a"; "T1 L nope"; "garbage" ] in
+  List.iter
+    (fun line ->
+      match Sched_text.parse sys line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" line)
+    bad;
+  (* Comments and blanks are fine. *)
+  match Sched_text.parse sys "# c
+
+T1 L a
+" with
+  | Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "expected one step"
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [ lemma1_decomposition_prop; narrate_linewise_prop; sched_text_roundtrip_prop ]
+
+let suite =
+  [
+    Alcotest.test_case "serial legal" `Quick test_serial_legal;
+    Alcotest.test_case "lock respected" `Quick test_lock_respected;
+    Alcotest.test_case "precedence respected" `Quick test_precedence_respected;
+    Alcotest.test_case "dgraph serial" `Quick test_dgraph_serial;
+    Alcotest.test_case "dgraph partial arcs" `Quick
+      test_dgraph_partial_includes_unlocked_accessors;
+    Alcotest.test_case "dgraph interleaved cycle" `Quick
+      test_dgraph_interleaved_cycle;
+    Alcotest.test_case "explore counts" `Quick test_explore_counts;
+    Alcotest.test_case "explore schedule_to" `Quick test_explore_schedule_to;
+    Alcotest.test_case "deadlock found" `Quick test_deadlock_found;
+    Alcotest.test_case "deadlock free simple" `Quick test_deadlock_free_simple;
+    Alcotest.test_case "safe and df" `Quick test_safe_and_df;
+    Alcotest.test_case "safety alone" `Quick test_safety_alone;
+    Alcotest.test_case "has_schedule" `Quick test_has_schedule;
+    Alcotest.test_case "complete schedules count" `Quick
+      test_complete_schedules_count;
+    Alcotest.test_case "random runs" `Quick test_random_run;
+    Alcotest.test_case "narrate deadlock" `Quick test_narrate;
+    Alcotest.test_case "narrate complete" `Quick test_narrate_complete;
+    Alcotest.test_case "sched text errors" `Quick test_sched_text_errors;
+  ]
+  @ qtests

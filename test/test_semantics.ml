@@ -1,0 +1,180 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_semantics
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let asystem_of rng ~per_entity sys =
+  Array.map
+    (fun t -> Herbrand.with_actions rng t ~per_entity)
+    (System.txns sys)
+
+let steps_of sys spec =
+  List.map
+    (fun (i, op, name) ->
+      let tx = System.txn sys i in
+      let e = Db.find_entity_exn (System.db sys) name in
+      Step.v i
+        (match op with
+        | `L -> Transaction.lock_node_exn tx e
+        | `U -> Transaction.unlock_node_exn tx e))
+    spec
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let simple_pair () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  System.create
+    [
+      Builder.two_phase_chain db [ "a"; "b" ];
+      Builder.two_phase_chain db [ "a"; "b" ];
+    ]
+
+let test_actions_inserted () =
+  let rng = Fixtures.rng 51 in
+  let sys = simple_pair () in
+  let asys = asystem_of rng ~per_entity:2 sys in
+  Array.iter
+    (fun a -> check int_t "2 entities x2" 4 (Herbrand.action_count a))
+    asys
+
+let test_eval_initial () =
+  (* An empty schedule leaves every entity at its initial value. *)
+  let rng = Fixtures.rng 52 in
+  let sys = simple_pair () in
+  let asys = asystem_of rng ~per_entity:1 sys in
+  let final = Herbrand.eval asys [] in
+  Array.iteri
+    (fun e t -> check bool_t "init" true (t = Herbrand.Init e))
+    final
+
+let test_serial_chains () =
+  (* After a serial run, each entity's term is T2's function applied over
+     T1's — a chain of depth 2. *)
+  let rng = Fixtures.rng 53 in
+  let sys = simple_pair () in
+  let asys = asystem_of rng ~per_entity:1 sys in
+  let final = Herbrand.eval asys (Schedule.serial sys [ 0; 1 ]) in
+  Array.iter
+    (fun t ->
+      match t with
+      | Herbrand.App (f2, args) ->
+          check bool_t "outer is T2's" true (String.length f2 > 1 && f2.[1] = '2');
+          check bool_t "inner is T1's" true
+            (List.exists
+               (function
+                 | Herbrand.App (f1, _) -> f1.[1] = '1'
+                 | _ -> false)
+               args)
+      | _ -> Alcotest.fail "expected App")
+    final
+
+let test_lost_update_not_serializable () =
+  (* The classic anomaly needs a non-2PL schedule; our lock model forbids
+     interleavings while held, so build the early-unlock pair:
+     T1 = La Ua Lb Ub, T2 = La Lb Ua Ub and interleave so that
+     T1 acts on a first but on b second. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let t1 = Builder.total_exn db Builder.[ L "a"; U "a"; L "b"; U "b" ] in
+  let t2 = Builder.two_phase_chain db [ "a"; "b" ] in
+  let sys = System.create [ t1; t2 ] in
+  let rng = Fixtures.rng 54 in
+  let asys = asystem_of rng ~per_entity:1 sys in
+  let steps =
+    steps_of sys
+      [
+        (0, `L, "a"); (0, `U, "a");
+        (1, `L, "a"); (1, `L, "b"); (1, `U, "a"); (1, `U, "b");
+        (0, `L, "b"); (0, `U, "b");
+      ]
+  in
+  check bool_t "legal" true (Schedule.is_legal sys steps);
+  check bool_t "D(S) cyclic" false (Dgraph.is_serializable sys steps);
+  check bool_t "not semantically serializable" false
+    (Herbrand.serializable asys steps);
+  (* And a clean serial run IS serializable. *)
+  check bool_t "serial ok" true
+    (Herbrand.serializable asys (Schedule.serial sys [ 1; 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* The [EGLT] theorem: D(S) acyclic ⇔ semantically serializable       *)
+(* ------------------------------------------------------------------ *)
+
+let eglt_prop =
+  QCheck.Test.make
+    ~name:"[EGLT] D(S) acyclic ⇔ Herbrand-serializable (random schedules)"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      match Explore.random_run st sys with
+      | Explore.Deadlocked _ -> QCheck.assume_fail ()
+      | Explore.Completed steps ->
+          let asys =
+            asystem_of st ~per_entity:(1 + Random.State.int st 2) sys
+          in
+          Dgraph.is_serializable sys steps = Herbrand.serializable asys steps)
+
+(* Equivalence is exactly "same per-entity lock order": permuting two
+   independent entities' schedules preserves final terms. *)
+let equivalence_lock_order_prop =
+  QCheck.Test.make
+    ~name:"equivalent ⇔ equal per-entity lock orders" ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      match (Explore.random_run st sys, Explore.random_run st sys) with
+      | Explore.Completed s1, Explore.Completed s2 ->
+          let asys = asystem_of st ~per_entity:1 sys in
+          let per_entity steps =
+            let raw =
+              List.filter_map
+                (fun (s : Step.t) ->
+                  let nd = Transaction.node (System.txn sys s.txn) s.node in
+                  match nd.Node.op with
+                  | Node.Lock -> Some (nd.Node.entity, s.txn)
+                  | Node.Unlock -> None)
+                steps
+            in
+            List.map
+              (fun e -> List.filter (fun (e', _) -> e' = e) raw)
+              (Ddlock_graph.Bitset.to_list (System.accessed_entities sys))
+          in
+          (per_entity s1 = per_entity s2) = Herbrand.equivalent asys s1 s2
+      | _ -> QCheck.assume_fail ())
+
+(* The paper's position-irrelevance: different random action placements
+   on the same skeleton give the same serializability verdicts. *)
+let position_irrelevance_prop =
+  QCheck.Test.make
+    ~name:"action positions do not affect serializability (§2 remark)"
+    ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_pair st in
+      match Explore.random_run st sys with
+      | Explore.Deadlocked _ -> QCheck.assume_fail ()
+      | Explore.Completed steps ->
+          let a1 = asystem_of st ~per_entity:2 sys in
+          let a2 = asystem_of st ~per_entity:2 sys in
+          Herbrand.serializable a1 steps = Herbrand.serializable a2 steps)
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [ eglt_prop; equivalence_lock_order_prop; position_irrelevance_prop ]
+
+let suite =
+  [
+    Alcotest.test_case "actions inserted" `Quick test_actions_inserted;
+    Alcotest.test_case "eval initial" `Quick test_eval_initial;
+    Alcotest.test_case "serial chains" `Quick test_serial_chains;
+    Alcotest.test_case "lost update" `Quick test_lost_update_not_serializable;
+  ]
+  @ qtests

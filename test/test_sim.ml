@@ -1,0 +1,247 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_sim
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (k, v) -> Pqueue.push q k v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  check int_t "size" 3 (Pqueue.size q);
+  check (Alcotest.option Alcotest.(float 0.0)) "peek" (Some 1.0) (Pqueue.peek_key q);
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  check (Alcotest.list Alcotest.string) "sorted" [ "a"; "b"; "c" ] order;
+  check bool_t "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1.0 v) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  check (Alcotest.list Alcotest.string) "fifo" [ "first"; "second"; "third" ] order
+
+let pqueue_sorted_prop =
+  QCheck.Test.make ~name:"pqueue pops in key order" ~count:200
+    QCheck.(small_list (pair (float_bound_inclusive 100.0) small_nat))
+    (fun items ->
+      let q = Pqueue.create () in
+      List.iter (fun (k, v) -> Pqueue.push q k v) items;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let keys = drain [] in
+      keys = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let safe_pair () =
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  System.create
+    [
+      Builder.two_phase_chain db [ "a"; "b" ];
+      Builder.two_phase_chain db [ "a"; "b" ];
+    ]
+
+let test_run_completes () =
+  let sys = safe_pair () in
+  let rng = Fixtures.rng 1 in
+  for _ = 1 to 50 do
+    let r = Runtime.run rng sys in
+    (match r.Runtime.outcome with
+    | Runtime.Finished { makespan } ->
+        check bool_t "positive makespan" true (makespan > 0.0)
+    | Runtime.Deadlock _ -> Alcotest.fail "safe pair cannot deadlock");
+    let s = Runtime.schedule_of_run r in
+    check bool_t "trace legal" true (Schedule.is_legal sys s);
+    check bool_t "trace complete" true (Schedule.is_complete sys s);
+    check bool_t "trace serializable" true (Dgraph.is_serializable sys s)
+  done
+
+let test_philosophers_deadlock_observed () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 3 in
+  let rng = Fixtures.rng 2 in
+  let saw = ref false in
+  for _ = 1 to 300 do
+    if not !saw then
+      match (Runtime.run rng sys).Runtime.outcome with
+      | Runtime.Deadlock { waits_for; cycle; _ } ->
+          saw := true;
+          check bool_t "wait-for arcs present" true (waits_for <> []);
+          check bool_t "cycle present" true (cycle <> []);
+          (* Every wait-for arc must point at a real holder. *)
+          List.iter
+            (fun (w, _, h) ->
+              check bool_t "w != h" true (w <> h))
+            waits_for
+      | Runtime.Finished _ -> ()
+  done;
+  check bool_t "deadlock observed" true !saw
+
+let test_batch () =
+  let rng = Fixtures.rng 3 in
+  let stats = Runtime.batch rng (safe_pair ()) ~runs:40 in
+  check int_t "runs" 40 stats.Runtime.runs;
+  check int_t "no deadlocks" 0 stats.Runtime.deadlocks;
+  check int_t "all serializable" 0 stats.Runtime.non_serializable;
+  check bool_t "makespan finite" true (Float.is_finite stats.Runtime.mean_makespan);
+  let stats = Runtime.batch rng (Ddlock_workload.Gentx.dining_philosophers 4) ~runs:200 in
+  check bool_t "philosophers deadlock sometimes" true (stats.Runtime.deadlocks > 0)
+
+(* E11 validation: a system certified safe∧DF by Theorem 4 never
+   deadlocks nor produces a non-serializable trace under the simulator. *)
+let certified_systems_clean_prop =
+  QCheck.Test.make
+    ~name:"simulator never refutes a Theorem-4 safe∧DF certificate"
+    ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      QCheck.assume (Ddlock_safety.Many.safe_and_deadlock_free sys);
+      let stats = Runtime.batch st sys ~runs:20 in
+      stats.Runtime.deadlocks = 0 && stats.Runtime.non_serializable = 0)
+
+(* Conversely the simulator's traces are always legal schedules. *)
+let trace_legal_prop =
+  QCheck.Test.make ~name:"simulator traces are legal schedules" ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      let r = Runtime.run st sys in
+      let s = Runtime.schedule_of_run r in
+      Schedule.is_legal sys s
+      &&
+      match r.Runtime.outcome with
+      | Runtime.Finished _ -> Schedule.is_complete sys s
+      | Runtime.Deadlock { cycle; _ } ->
+          (* Runtime deadlock states are deadlock states of the model. *)
+          cycle <> []
+          && State.is_deadlock sys (Schedule.to_state sys s))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery schemes (wound-wait / wait-die / detect-and-abort)          *)
+(* ------------------------------------------------------------------ *)
+
+let schemes =
+  [
+    ("wait-die", Recovery.Wait_die);
+    ("wound-wait", Recovery.Wound_wait);
+    ("detect", Recovery.Detect { period = 5.0 });
+  ]
+
+let test_recovery_resolves_philosophers () =
+  (* Under the plain runtime the philosophers deadlock; every recovery
+     scheme must always drive them to completion, with legal serializable
+     committed traces. *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  List.iter
+    (fun (name, scheme) ->
+      let rng = Fixtures.rng 21 in
+      let stats = Recovery.batch ~scheme rng sys ~runs:60 in
+      check int_t (name ^ ": no timeouts") 0 stats.Recovery.timeouts;
+      check int_t (name ^ ": traces legal") 0 stats.Recovery.illegal_traces;
+      check int_t
+        (name ^ ": traces serializable")
+        0 stats.Recovery.non_serializable_traces)
+    schemes
+
+let test_recovery_aborts_happen () =
+  (* On a contended deadlocking workload the schemes must actually abort
+     sometimes (otherwise they are not being exercised). *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  List.iter
+    (fun (name, scheme) ->
+      let rng = Fixtures.rng 22 in
+      let stats = Recovery.batch ~scheme rng sys ~runs:60 in
+      check bool_t (name ^ ": some aborts") true (stats.Recovery.total_aborts > 0))
+    schemes
+
+let test_recovery_no_aborts_when_safe () =
+  (* Wait-die may die spuriously on plain contention; wound-wait wounds
+     only on conflict, detect aborts only on real cycles.  On a
+     conflict-free system (disjoint entities) no scheme should abort. *)
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a" ];
+        Builder.two_phase_chain db [ "b" ];
+        Builder.two_phase_chain db [ "c" ];
+      ]
+  in
+  List.iter
+    (fun (name, scheme) ->
+      let rng = Fixtures.rng 23 in
+      let stats = Recovery.batch ~scheme rng sys ~runs:30 in
+      check int_t (name ^ ": zero aborts") 0 stats.Recovery.total_aborts;
+      check int_t (name ^ ": zero timeouts") 0 stats.Recovery.timeouts)
+    schemes
+
+let test_detect_only_aborts_on_cycles () =
+  (* Ordered 2PL chains contend heavily but never deadlock: the detector
+     must never fire. *)
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let sys =
+    System.create
+      (List.init 4 (fun _ -> Builder.two_phase_chain db [ "a"; "b"; "c" ]))
+  in
+  let rng = Fixtures.rng 24 in
+  let stats =
+    Recovery.batch ~scheme:(Recovery.Detect { period = 2.0 }) rng sys ~runs:40
+  in
+  check int_t "no aborts" 0 stats.Recovery.total_aborts;
+  check int_t "no timeouts" 0 stats.Recovery.timeouts
+
+let recovery_always_commits_prop =
+  QCheck.Test.make
+    ~name:"recovery schemes always commit random deadlocking systems"
+    ~count:30
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      List.for_all
+        (fun (_, scheme) ->
+          let r = Recovery.run ~scheme st sys in
+          (not r.Recovery.stats.Recovery.timed_out)
+          && r.Recovery.stats.Recovery.commits = System.size sys
+          && Schedule.is_complete sys r.Recovery.committed_trace)
+        schemes)
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [
+      pqueue_sorted_prop;
+      certified_systems_clean_prop;
+      trace_legal_prop;
+      recovery_always_commits_prop;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "pqueue order" `Quick test_pqueue_order;
+    Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+    Alcotest.test_case "runs complete" `Quick test_run_completes;
+    Alcotest.test_case "philosophers deadlock observed" `Quick
+      test_philosophers_deadlock_observed;
+    Alcotest.test_case "batch stats" `Quick test_batch;
+    Alcotest.test_case "recovery resolves philosophers" `Quick
+      test_recovery_resolves_philosophers;
+    Alcotest.test_case "recovery aborts happen" `Quick
+      test_recovery_aborts_happen;
+    Alcotest.test_case "recovery quiet when conflict-free" `Quick
+      test_recovery_no_aborts_when_safe;
+    Alcotest.test_case "detect fires only on cycles" `Quick
+      test_detect_only_aborts_on_cycles;
+  ]
+  @ qtests
