@@ -14,7 +14,8 @@
 
    Run with:  dune exec bench/main.exe                 (everything)
               dune exec bench/main.exe -- SECTION...   (a subset)
-   Sections: agreement micro theorem4 exhaustive sim crossover recovery sm geometry rw
+   Sections: agreement micro theorem4 exhaustive sim crossover recovery
+             faults sm geometry rw
 *)
 
 open Bechamel
@@ -468,6 +469,46 @@ let recovery () =
             Model.Builder.two_phase_chain db [ "a"; "b"; "c"; "d" ])))
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: recovery schemes under increasing fault rates      *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  header
+    "E19 fault injection: scheme robustness vs fault-plan severity \
+     (philosophers k=5, 100 runs per cell)";
+  Format.printf "  %-10s %-12s %-10s %-8s %-10s %-12s@." "intensity" "scheme"
+    "commit%" "aborts" "max/txn" "makespan";
+  let sys = Workload.Gentx.dining_philosophers 5 in
+  let schemes =
+    [
+      ("wait-die", Sim.Recovery.Wait_die);
+      ("wound-wait", Sim.Recovery.Wound_wait);
+      ("detect(5)", Sim.Recovery.Detect { period = 5.0 });
+      ("timeout", Sim.Recovery.default_timeout);
+    ]
+  in
+  List.iter
+    (fun intensity ->
+      let plan =
+        Sim.Faults.random (rng 11) (System.db sys) ~intensity ~horizon:40.0
+      in
+      List.iter
+        (fun (sname, scheme) ->
+          let st = rng 12 in
+          let stats = Sim.Recovery.batch ~scheme ~faults:plan st sys ~runs:100 in
+          let commits =
+            100.0
+            *. float_of_int (stats.Sim.Recovery.runs - stats.Sim.Recovery.timeouts)
+            /. float_of_int stats.Sim.Recovery.runs
+          in
+          Format.printf "  %-10.2f %-12s %-10.0f %-8d %-10d %-12.2f@." intensity
+            sname commits stats.Sim.Recovery.total_aborts
+            stats.Sim.Recovery.max_aborts_single_txn
+            stats.Sim.Recovery.mean_makespan)
+        schemes)
+    [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
+
+(* ------------------------------------------------------------------ *)
 (* Read/write modes: readers-share speedup                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -515,6 +556,7 @@ let () =
       ("crossover", crossover);
       ("sim", sim);
       ("recovery", recovery);
+      ("faults", faults);
       ("sm", sm_fixed);
       ("geometry", geometry);
       ("rw", rw_modes);

@@ -10,10 +10,18 @@ module System = Model.System
 module Parser = Model.Parser
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try really_input_string ic (in_channel_length ic)
+          with Sys_error msg ->
+            prerr_endline msg;
+            exit 2)
 
 let load path =
   match Parser.parse (read_file path) with
@@ -32,8 +40,11 @@ let find_txn r name =
 
 (* ----------------------------- arguments --------------------------- *)
 
+(* Plain strings, not [Arg.file]: existence is checked by [read_file],
+   which reports a one-line error and exits 2 — same path for missing
+   files and unreadable ones. *)
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
        ~doc:"Transaction-system source file (see ddlock gen for the format).")
 
 let max_states_arg =
@@ -216,7 +227,7 @@ let sat_reduce_cmd =
     Arg.(value & opt int 3 & info [ "vars" ] ~doc:"Variables in the random 3SAT' formula.")
   in
   let file_opt_arg =
-    Arg.(value & opt (some file) None & info [ "file" ]
+    Arg.(value & opt (some string) None & info [ "file" ]
          ~doc:"DIMACS CNF file; normalized to 3SAT' before the reduction.")
   in
   let run vars seed file =
@@ -372,9 +383,10 @@ let recover_cmd =
                ("wait-die", Sim.Recovery.Wait_die);
                ("wound-wait", Sim.Recovery.Wound_wait);
                ("detect", Sim.Recovery.Detect { period = 5.0 });
+               ("timeout", Sim.Recovery.default_timeout);
              ])
           Sim.Recovery.Wound_wait
-      & info [ "scheme" ] ~doc:"wait-die | wound-wait | detect")
+      & info [ "scheme" ] ~doc:"wait-die | wound-wait | detect | timeout")
   in
   let runs_arg =
     Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of executions.")
@@ -389,15 +401,65 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:
-         "Execute under a deadlock-handling scheme (wound-wait, wait-die or \
-          periodic detection) and report aborts/commits.")
+         "Execute under a deadlock-handling scheme (wound-wait, wait-die, \
+          periodic detection or lock-wait timeout) and report aborts/commits.")
     Term.(const run $ file_arg $ scheme_arg $ runs_arg $ seed_arg)
+
+(* ------------------------------- chaos ----------------------------- *)
+
+let chaos_cmd =
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ]
+         ~doc:"Seeds to sweep (each seed derives one fault plan per scheme).")
+  in
+  let intensity_arg =
+    Arg.(value & opt float 0.8 & info [ "intensity" ]
+         ~doc:"Fault-plan severity ceiling in [0,1].")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 40.0 & info [ "horizon" ]
+         ~doc:"Sim time after which no new fault fires (keeps plans finite).")
+  in
+  let scheme_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             (("all", None)
+             :: List.map
+                  (fun (n, s) -> (n, Some (n, s)))
+                  Sim.Chaos.default_schemes))
+          None
+      & info [ "scheme" ] ~doc:"all | wait-die | wound-wait | detect | timeout")
+  in
+  let run file runs seed intensity horizon scheme =
+    let r = load file in
+    let sys = Parser.system_of_result r in
+    let schemes =
+      match scheme with None -> Sim.Chaos.default_schemes | Some s -> [ s ]
+    in
+    let cases = [ { Sim.Chaos.label = Filename.basename file; system = sys } ] in
+    let report =
+      Sim.Chaos.sweep ~seeds:runs ~schemes ~cases ~intensity ~horizon seed
+    in
+    Format.printf "%a@." Sim.Chaos.pp_report report;
+    if report.Sim.Chaos.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep seeded fault plans (site crashes, message loss/duplication, \
+          lock-manager stalls) over the recovery schemes and check the \
+          safety/liveness invariants on every committed trace.")
+    Term.(
+      const run $ file_arg $ runs_arg $ seed_arg $ intensity_arg $ horizon_arg
+      $ scheme_arg)
 
 (* ------------------------------ replay ----------------------------- *)
 
 let replay_cmd =
   let sched_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE"
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCHEDULE"
          ~doc:"Schedule file: one 'T<i> L|U <entity>' step per line.")
   in
   let run file sched =
@@ -464,6 +526,7 @@ let () =
             sat_reduce_cmd;
             dot_cmd;
             recover_cmd;
+            chaos_cmd;
             repair_cmd;
             minimize_cmd;
             replay_cmd;

@@ -15,6 +15,9 @@
    - recovery-scheme invariants: wound-wait always commits with a legal
      committed trace, which is serializable whenever the system is safe
      (on unsafe systems non-serializable committed traces are expected);
+   - chaos invariants: a random fault plan (site crashes, message
+     loss/duplication, manager stalls) over wound-wait and the timeout
+     scheme never breaks the committed-trace invariants of Sim.Chaos;
    - rw invariants: exclusive-abstraction deadlock-freedom implies rw
      deadlock-freedom (2 transactions).
 *)
@@ -103,6 +106,27 @@ let () =
       sys_safe_df
       && not (Sched.Dgraph.is_serializable sys r.Sim.Recovery.committed_trace)
     then report "wound-wait serializability" round;
+    (* --- chaos invariants under a random fault plan --- *)
+    let plan =
+      Sim.Faults.random st db2 ~intensity:(Random.State.float st 0.8)
+        ~horizon:30.0
+    in
+    List.iter
+      (fun (sname, scheme) ->
+        match Sim.Chaos.run_case ~scheme ~faults:plan st sys with
+        | [], _ -> ()
+        | vs, _ ->
+            List.iter
+              (fun v ->
+                Format.printf "  %s: %a@." sname
+                  (Sim.Chaos.pp_violation (System.db sys))
+                  v)
+              vs;
+            report ("chaos/" ^ sname) round)
+      [
+        ("wound-wait", Sim.Recovery.Wound_wait);
+        ("timeout", Sim.Recovery.default_timeout);
+      ];
     (* --- rw invariants --- *)
     let rwdb = Workload.Gentx.random_db ~sites:1 ~entities:3 in
     let rwmk () =

@@ -2,6 +2,7 @@ open Ddlock_graph
 open Ddlock_model
 module Pqueue = Ddlock_sim.Pqueue
 module Rcfg = Ddlock_sim.Runtime
+module Faults = Ddlock_sim.Faults
 
 type outcome =
   | Finished of { makespan : float }
@@ -17,16 +18,20 @@ type lock_state = {
   waiters : Rw_system.step Queue.t;
 }
 
-let run ?(config = Rcfg.default_config) rng sys =
+let run ?(config = Rcfg.default_config) ?(faults = Faults.none) rng sys =
   let n = Rw_system.size sys in
   let db = Rw_system.db sys in
   let ne = Db.entity_count db in
+  let inj = Faults.injector faults in
   let locks =
     Array.init ne (fun _ ->
         { holders = []; write_mode = false; waiters = Queue.create () })
   in
   let executed = Array.init n (fun i -> Rw_txn.empty_prefix (Rw_system.txn sys i)) in
   let started = Array.init n (fun i -> Rw_txn.empty_prefix (Rw_system.txn sys i)) in
+  (* Requests already processed by a lock manager, for dedup of
+     duplicated deliveries. *)
+  let arrived = Array.init n (fun i -> Rw_txn.empty_prefix (Rw_system.txn sys i)) in
   let last_site = Array.make n (-1) in
   let events : event Pqueue.t = Pqueue.create () in
   let trace = ref [] in
@@ -55,12 +60,20 @@ let run ?(config = Rcfg.default_config) rng sys =
   let rec start (s : Rw_system.step) =
     let nd = node_of s in
     Bitset.set started.(s.txn) s.node;
+    let site = Db.site_of db nd.Rw_txn.entity in
     match nd.Rw_txn.op with
     | Rw_txn.Unlock ->
-        Pqueue.push events (!now +. duration s.txn nd.Rw_txn.entity) (Complete s)
+        let d = duration s.txn nd.Rw_txn.entity in
+        Pqueue.push events
+          (Faults.deliver inj ~site ~now:!now ~transit:d)
+          (Complete s)
     | Rw_txn.Lock _ ->
         let transit = Random.State.float rng (max 1e-9 config.Rcfg.request_jitter) in
-        Pqueue.push events (!now +. transit) (Arrive s)
+        Pqueue.push events (Faults.deliver inj ~site ~now:!now ~transit) (Arrive s);
+        if Faults.duplicated inj ~now:!now then
+          Pqueue.push events
+            (Faults.deliver inj ~site ~now:!now ~transit)
+            (Arrive s)
   and start_ready i =
     List.iter
       (fun v ->
@@ -72,7 +85,12 @@ let run ?(config = Rcfg.default_config) rng sys =
     let l = locks.(nd.Rw_txn.entity) in
     l.holders <- s.txn :: l.holders;
     l.write_mode <- mode_of_step s = Rw_txn.Write;
-    Pqueue.push events (!now +. duration s.txn nd.Rw_txn.entity) (Complete s)
+    Pqueue.push events
+      (Faults.deliver inj
+         ~site:(Db.site_of db nd.Rw_txn.entity)
+         ~now:!now
+         ~transit:(duration s.txn nd.Rw_txn.entity))
+      (Complete s)
   in
   (* Grant from the queue: the head, plus — if the head is a Read — every
      consecutive Read behind it. *)
@@ -110,15 +128,19 @@ let run ?(config = Rcfg.default_config) rng sys =
     | None -> ()
     | Some (t, Arrive s) ->
         now := t;
-        let nd = node_of s in
-        let l = locks.(nd.Rw_txn.entity) in
-        let compatible =
-          l.holders = []
-          || ((not l.write_mode)
-             && mode_of_step s = Rw_txn.Read
-             && Queue.is_empty l.waiters)
-        in
-        if compatible then grant_now s else Queue.push s l.waiters;
+        (* Duplicated deliveries of the same request are ignored. *)
+        if not (Bitset.mem arrived.(s.txn) s.node) then begin
+          Bitset.set arrived.(s.txn) s.node;
+          let nd = node_of s in
+          let l = locks.(nd.Rw_txn.entity) in
+          let compatible =
+            l.holders = []
+            || ((not l.write_mode)
+               && mode_of_step s = Rw_txn.Read
+               && Queue.is_empty l.waiters)
+          in
+          if compatible then grant_now s else Queue.push s l.waiters
+        end;
         loop ()
     | Some (t, Complete s) ->
         now := t;
@@ -160,11 +182,11 @@ type batch_stats = {
   mean_makespan : float;
 }
 
-let batch ?config rng sys ~runs =
+let batch ?config ?faults rng sys ~runs =
   let deadlocks = ref 0 and bad = ref 0 in
   let total = ref 0.0 and completed = ref 0 in
   for _ = 1 to runs do
-    let r = run ?config rng sys in
+    let r = run ?config ?faults rng sys in
     match r.outcome with
     | Deadlock _ -> incr deadlocks
     | Finished { makespan } ->

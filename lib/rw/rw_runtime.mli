@@ -15,8 +15,13 @@ type outcome =
 
 type run = { outcome : outcome; trace : Rw_system.step list }
 
+(** [run ?config ?faults rng sys] — [faults] injects message loss with
+    retransmission, duplicated lock requests (deduplicated at the
+    manager), and crash/stall unavailability windows, exactly as in
+    {!Ddlock_sim.Runtime}. *)
 val run :
   ?config:Ddlock_sim.Runtime.config ->
+  ?faults:Ddlock_sim.Faults.plan ->
   Random.State.t ->
   Rw_system.t ->
   run
@@ -30,6 +35,7 @@ type batch_stats = {
 
 val batch :
   ?config:Ddlock_sim.Runtime.config ->
+  ?faults:Ddlock_sim.Faults.plan ->
   Random.State.t ->
   Rw_system.t ->
   runs:int ->

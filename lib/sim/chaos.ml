@@ -1,0 +1,188 @@
+open Ddlock_model
+open Ddlock_schedule
+
+type violation =
+  | Starved of { committed : int; txns : int }
+  | Illegal_trace
+  | Double_grant of { entity : Db.entity; first : int; second : int }
+  | Non_serializable
+
+let pp_violation db ppf = function
+  | Starved { committed; txns } ->
+      Format.fprintf ppf "starved: only %d/%d transactions committed"
+        committed txns
+  | Illegal_trace -> Format.fprintf ppf "committed trace is not a legal schedule"
+  | Double_grant { entity; first; second } ->
+      Format.fprintf ppf
+        "%s granted to T%d while still held by T%d (no release in between)"
+        (Db.entity_name db entity) (second + 1) (first + 1)
+  | Non_serializable ->
+      Format.fprintf ppf "committed two-phase execution is not serializable"
+
+let double_grant sys trace =
+  let db = System.db sys in
+  let holder = Array.make (Db.entity_count db) None in
+  let rec scan = function
+    | [] -> None
+    | (s : Step.t) :: rest -> (
+        let nd = Transaction.node (System.txn sys s.txn) s.node in
+        match nd.Node.op with
+        | Node.Lock -> (
+            match holder.(nd.entity) with
+            | Some first when first <> s.txn ->
+                Some (Double_grant { entity = nd.entity; first; second = s.txn })
+            | _ ->
+                holder.(nd.entity) <- Some s.txn;
+                scan rest)
+        | Node.Unlock ->
+            holder.(nd.entity) <- None;
+            scan rest)
+  in
+  scan trace
+
+(* The static [Transaction.is_two_phase] predicate is not enough here:
+   a partial order can be two-phase as a poset yet admit linearizations
+   that release an entity before acquiring another (guard rings do).
+   The classical 2PL serializability theorem is about the *execution*,
+   so we gate on the committed trace itself: per transaction, no Lock
+   step after one of its Unlock steps. *)
+let execution_two_phase sys trace =
+  let released = Array.make (System.size sys) false in
+  List.for_all
+    (fun (s : Step.t) ->
+      let nd = Transaction.node (System.txn sys s.txn) s.node in
+      match nd.Node.op with
+      | Node.Lock -> not released.(s.txn)
+      | Node.Unlock ->
+          released.(s.txn) <- true;
+          true)
+    trace
+
+let check_run sys (r : Recovery.run) =
+  let n = System.size sys in
+  if r.Recovery.stats.Recovery.timed_out then
+    [ Starved { committed = r.Recovery.stats.Recovery.commits; txns = n } ]
+  else
+    let t = r.Recovery.committed_trace in
+    let vs = if Schedule.is_complete sys t then [] else [ Illegal_trace ] in
+    let vs = match double_grant sys t with Some v -> v :: vs | None -> vs in
+    if execution_two_phase sys t && not (Dgraph.is_serializable sys t) then
+      Non_serializable :: vs
+    else vs
+
+let run_case ~scheme ~faults ?config rng sys =
+  let r = Recovery.run ~scheme ?config ~faults rng sys in
+  (check_run sys r, r)
+
+type case = { label : string; system : System.t }
+
+let default_cases () =
+  let gentx = Ddlock_workload.Gentx.dining_philosophers in
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  [
+    { label = "philosophers4"; system = gentx 4 };
+    {
+      label = "ring3x2";
+      system = System.copies (Ddlock_workload.Gentx.guard_ring 3) 2;
+    };
+    {
+      label = "ordered2pl";
+      system =
+        System.create
+          (List.init 3 (fun _ -> Builder.two_phase_chain db [ "a"; "b"; "c" ]));
+    };
+  ]
+
+let default_schemes =
+  [
+    ("wait-die", Recovery.Wait_die);
+    ("wound-wait", Recovery.Wound_wait);
+    ("detect", Recovery.Detect { period = 5.0 });
+    ("timeout", Recovery.default_timeout);
+  ]
+
+type report = {
+  runs : int;
+  clean_runs : int;
+  total_aborts : int;
+  max_aborts_single_txn : int;
+  mean_makespan : float;
+  violations : (int * string * violation) list;
+}
+
+let sweep ~seeds ~schemes ~cases ?(intensity = 0.8) ?(horizon = 40.0) ?config
+    base_seed =
+  let runs = ref 0 and clean = ref 0 in
+  let aborts = ref 0 and max_single = ref 0 in
+  let total_makespan = ref 0.0 and completed = ref 0 in
+  let violations = ref [] in
+  for seed = 0 to seeds - 1 do
+    List.iteri
+      (fun ci case ->
+        let plan_rng = Random.State.make [| base_seed; seed; ci; 0xfa |] in
+        let severity = intensity *. Random.State.float plan_rng 1.0 in
+        let plan =
+          Faults.random plan_rng
+            (System.db case.system)
+            ~intensity:severity ~horizon
+        in
+        (* Probe the abort-free runtime too: fault hooks must never break
+           trace legality, whatever the outcome. *)
+        let rt_rng = Random.State.make [| base_seed; seed; ci; 0x51 |] in
+        let rt = Runtime.run ~faults:plan rt_rng case.system in
+        incr runs;
+        if
+          Schedule.is_legal case.system (Runtime.schedule_of_run rt)
+          && double_grant case.system (Runtime.schedule_of_run rt) = None
+        then incr clean
+        else
+          violations :=
+            (seed, case.label ^ "/runtime", Illegal_trace) :: !violations;
+        List.iteri
+          (fun si (sname, scheme) ->
+            let rng = Random.State.make [| base_seed; seed; ci; si; 0xc4 |] in
+            let vs, r = run_case ~scheme ~faults:plan ?config rng case.system in
+            incr runs;
+            aborts := !aborts + r.Recovery.stats.Recovery.aborts;
+            Array.iter
+              (fun a -> if a > !max_single then max_single := a)
+              r.Recovery.aborts_by_txn;
+            if not r.Recovery.stats.Recovery.timed_out then begin
+              incr completed;
+              total_makespan :=
+                !total_makespan +. r.Recovery.stats.Recovery.makespan
+            end;
+            match vs with
+            | [] -> incr clean
+            | vs ->
+                List.iter
+                  (fun v ->
+                    violations :=
+                      (seed, case.label ^ "/" ^ sname, v) :: !violations)
+                  vs)
+          schemes)
+      cases
+  done;
+  {
+    runs = !runs;
+    clean_runs = !clean;
+    total_aborts = !aborts;
+    max_aborts_single_txn = !max_single;
+    mean_makespan =
+      (if !completed = 0 then Float.nan
+       else !total_makespan /. float_of_int !completed);
+    violations = !violations;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d runs: %d clean, %d invariant violations, %d aborts (max %d per txn), \
+     mean makespan %.2f"
+    r.runs r.clean_runs
+    (List.length r.violations)
+    r.total_aborts r.max_aborts_single_txn r.mean_makespan;
+  List.iteri
+    (fun i (seed, where, _) ->
+      if i < 10 then
+        Format.fprintf ppf "@.  violation in %s at seed %d" where seed)
+    r.violations

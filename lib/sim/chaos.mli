@@ -1,0 +1,90 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Chaos invariant harness: replay thousands of seeded
+    (system × fault-plan × scheme) executions and assert that the safety
+    and liveness invariants survive every fault plan.
+
+    Invariants checked on each {!Recovery} run:
+
+    - {e liveness}: under a finite fault plan every transaction commits
+      before the [max_time] cutoff ({!Starved} otherwise);
+    - {e legality}: the committed trace is a legal, complete schedule of
+      the system ({!Illegal_trace});
+    - {e mutual exclusion}: no entity is granted twice without an
+      intervening release, checked by an independent lock-table replay of
+      the committed trace ({!Double_grant});
+    - {e serializability}: when the committed {e execution} is two-phase
+      (per transaction, no lock step after one of its unlocks), the trace
+      must be conflict-serializable ({!Non_serializable}). The gate is on
+      the trace, not on {!Transaction.is_two_phase}: a two-phase partial
+      order can still admit non-two-phase linearizations (the paper's
+      safety question), which may legitimately be non-serializable.
+
+    Plain {!Runtime} executions under the same plans are also probed for
+    trace legality — the injection points must never fabricate steps. *)
+
+type violation =
+  | Starved of { committed : int; txns : int }
+  | Illegal_trace
+  | Double_grant of { entity : Db.entity; first : int; second : int }
+      (** [entity] granted to [second] while [first] still held it *)
+  | Non_serializable
+
+val pp_violation : Db.t -> Format.formatter -> violation -> unit
+
+(** Independent mutual-exclusion scan of a trace: replays a lock table
+    and reports the first re-grant without an intervening release. *)
+val double_grant : System.t -> Step.t list -> violation option
+
+(** [check_run sys r] — all invariant violations of one recovery run.
+    Serializability is only required when the committed execution is
+    two-phase. *)
+val check_run : System.t -> Recovery.run -> violation list
+
+(** [run_case ~scheme ~faults ?config rng sys] — one seeded execution
+    plus its violations. *)
+val run_case :
+  scheme:Recovery.scheme ->
+  faults:Faults.plan ->
+  ?config:Recovery.config ->
+  Random.State.t ->
+  System.t ->
+  violation list * Recovery.run
+
+type case = { label : string; system : System.t }
+
+(** The default chaos menagerie: a 2PL workload that reliably deadlocks
+    (dining philosophers), a non-two-phase deadlocking workload (copies
+    of a guard ring), and a certified safe∧DF ordered-2PL workload. *)
+val default_cases : unit -> case list
+
+(** All four recovery schemes with default parameters. *)
+val default_schemes : (string * Recovery.scheme) list
+
+type report = {
+  runs : int;  (** total executions (recovery runs + runtime probes) *)
+  clean_runs : int;  (** runs with no violation *)
+  total_aborts : int;
+  max_aborts_single_txn : int;
+  mean_makespan : float;  (** over fully-committed runs *)
+  violations : (int * string * violation) list;
+      (** (seed, "case/scheme", violation), newest first *)
+}
+
+(** [sweep ~seeds ~schemes ~cases ?intensity ?horizon ?config base_seed]
+    runs every (seed × case × scheme) combination: each seed derives a
+    fresh random fault plan per case (severity up to [intensity], default
+    [0.8]; fault horizon [horizon], default [40.]) and an independent
+    simulator RNG, so the sweep is reproducible from [base_seed] alone. *)
+val sweep :
+  seeds:int ->
+  schemes:(string * Recovery.scheme) list ->
+  cases:case list ->
+  ?intensity:float ->
+  ?horizon:float ->
+  ?config:Recovery.config ->
+  int ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -2,7 +2,11 @@ open Ddlock_graph
 open Ddlock_model
 open Ddlock_schedule
 
-type scheme = Wait_die | Wound_wait | Detect of { period : float }
+type scheme =
+  | Wait_die
+  | Wound_wait
+  | Detect of { period : float }
+  | Timeout of { base : float; cap : float; max_retries : int }
 
 type config = {
   base : Runtime.config;
@@ -13,6 +17,8 @@ type config = {
 let default_config =
   { base = Runtime.default_config; restart_delay = 3.0; max_time = 100_000.0 }
 
+let default_timeout = Timeout { base = 6.0; cap = 60.0; max_retries = 6 }
+
 type stats = {
   commits : int;
   aborts : int;
@@ -22,6 +28,7 @@ type stats = {
 
 type run = {
   stats : stats;
+  aborts_by_txn : int array;
   committed_trace : Step.t list;
   stuck_waits : (int * int * int) list;
       (* (waiter, entity, holder) at end of a timed-out run *)
@@ -32,17 +39,20 @@ type event =
   | Complete of Step.t * int  (** step finishes executing *)
   | Restart of int * int  (** transaction, incarnation *)
   | Tick  (** detect-and-abort period *)
+  | Crash of Db.site  (** site goes down and drops its lock tables *)
+  | Deadline of Step.t * int  (** lock-wait timeout check *)
 
 type lock_state = {
   mutable holder : int option;
   waiters : (Step.t * int) Queue.t;
 }
 
-let run ~scheme ?(config = default_config) rng sys =
+let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
   let n = System.size sys in
   let db = System.db sys in
   let ne = Db.entity_count db in
   let cfg = config.base in
+  let inj = Faults.injector faults in
   let locks =
     Array.init ne (fun _ -> { holder = None; waiters = Queue.create () })
   in
@@ -52,8 +62,17 @@ let run ~scheme ?(config = default_config) rng sys =
   let started =
     Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i))
   in
+  (* Requests processed by a lock manager in the current incarnation, for
+     dedup of duplicated deliveries. *)
+  let arrived =
+    Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i))
+  in
   let incarnation = Array.make n 0 in
   let committed = Array.make n false in
+  (* Timeout-abort count per transaction: drives the exponential
+     backoff. *)
+  let attempts = Array.make n 0 in
+  let aborts_by_txn = Array.make n 0 in
   (* Timestamp (priority): arrival order; kept across restarts. *)
   let ts i = i in
   let last_site = Array.make n (-1) in
@@ -80,20 +99,50 @@ let run ~scheme ?(config = default_config) rng sys =
   let entity_of (step : Step.t) =
     (Transaction.node (System.txn sys step.txn) step.node).Node.entity
   in
+  (* Exponential backoff with jitter: full window after [attempts]
+     timeouts, growth capped at [max_retries] doublings and [cap]. *)
+  let backoff_window base cap max_retries j =
+    let k = min attempts.(j) max_retries in
+    Float.min cap (base *. (2.0 ** float_of_int k))
+  in
+  let jittered w = w *. (0.5 +. Random.State.float rng 1.0) in
+  let restart_backoff j =
+    match scheme with
+    | Timeout { base; cap; max_retries } ->
+        jittered (backoff_window base cap max_retries j)
+    | Wait_die | Wound_wait | Detect _ -> 0.0
+  in
+  (* The grant message travels back from the manager, subject to faults. *)
+  let push_grant (w : Step.t) winc e =
+    Pqueue.push events
+      (Faults.deliver inj
+         ~site:(Db.site_of db e)
+         ~now:!now
+         ~transit:(duration w.Step.txn e))
+      (Complete (w, winc))
+  in
   let rec start (step : Step.t) =
     let nd = Transaction.node (System.txn sys step.txn) step.node in
     Bitset.set started.(step.txn) step.node;
     let inc = incarnation.(step.txn) in
+    let site = Db.site_of db nd.entity in
     match nd.Node.op with
     | Node.Unlock ->
+        let d = duration step.txn nd.entity in
         Pqueue.push events
-          (!now +. duration step.txn nd.entity)
+          (Faults.deliver inj ~site ~now:!now ~transit:d)
           (Complete (step, inc))
     | Node.Lock ->
         let transit =
           Random.State.float rng (max 1e-9 cfg.Runtime.request_jitter)
         in
-        Pqueue.push events (!now +. transit) (Arrive (step, inc))
+        Pqueue.push events
+          (Faults.deliver inj ~site ~now:!now ~transit)
+          (Arrive (step, inc));
+        if Faults.duplicated inj ~now:!now then
+          Pqueue.push events
+            (Faults.deliver inj ~site ~now:!now ~transit)
+            (Arrive (step, inc))
   and start_ready i =
     if not committed.(i) then
       List.iter
@@ -120,7 +169,7 @@ let run ~scheme ?(config = default_config) rng sys =
       | None -> ()
       | Some (w, winc) ->
           l.holder <- Some w.Step.txn;
-          Pqueue.push events (!now +. duration w.Step.txn e) (Complete (w, winc));
+          push_grant w winc e;
           let rest = ref [] in
           let rec drain () =
             match pop_valid () with
@@ -138,16 +187,16 @@ let run ~scheme ?(config = default_config) rng sys =
                 | None ->
                     (* the scheme aborted the holder meanwhile *)
                     l.holder <- Some w'.Step.txn;
-                    Pqueue.push events
-                      (!now +. duration w'.Step.txn e)
-                      (Complete (w', winc')))
+                    push_grant w' winc' e)
             (List.rev !rest)
 
   and abort j =
     incr aborts;
+    aborts_by_txn.(j) <- aborts_by_txn.(j) + 1;
     incarnation.(j) <- incarnation.(j) + 1;
     executed.(j) <- Transaction.empty_prefix (System.txn sys j);
     started.(j) <- Transaction.empty_prefix (System.txn sys j);
+    arrived.(j) <- Transaction.empty_prefix (System.txn sys j);
     (* Release everything j holds; stale queue entries and in-flight
        events die via the incarnation check. *)
     for e = 0 to ne - 1 do
@@ -157,13 +206,17 @@ let run ~scheme ?(config = default_config) rng sys =
       end
     done;
     Pqueue.push events
-      (!now +. config.restart_delay)
+      (!now +. config.restart_delay +. restart_backoff j)
       (Restart (j, incarnation.(j)))
 
   and on_lock_conflict (step : Step.t) inc holder =
     let r = step.Step.txn in
     match scheme with
     | Detect _ -> Queue.push (step, inc) locks.(entity_of step).waiters
+    | Timeout { base; cap; max_retries } ->
+        Queue.push (step, inc) locks.(entity_of step).waiters;
+        let w = jittered (backoff_window base cap max_retries r) in
+        Pqueue.push events (!now +. w) (Deadline (step, inc))
     | Wait_die ->
         if ts r < ts holder then
           Queue.push (step, inc) locks.(entity_of step).waiters
@@ -178,12 +231,39 @@ let run ~scheme ?(config = default_config) rng sys =
           match l.holder with
           | None ->
               l.holder <- Some r;
-              Pqueue.push events
-                (!now +. duration r (entity_of step))
-                (Complete (step, inc))
+              push_grant step inc (entity_of step)
           | Some _ -> Queue.push (step, inc) l.waiters
         end
         else Queue.push (step, inc) locks.(entity_of step).waiters
+  in
+  (* A site crash drops its lock tables: holders of its entities abort
+     (their in-flight grants die with the incarnation bump) and queued
+     waiters are lost — still-valid ones retransmit their requests, which
+     the fault layer defers past the crash window. *)
+  let on_crash s =
+    for e = 0 to ne - 1 do
+      if Db.site_of db e = s then begin
+        let l = locks.(e) in
+        let rec drop () =
+          match Queue.take_opt l.waiters with
+          | None -> ()
+          | Some ((w, winc) : Step.t * int) ->
+              if winc = incarnation.(w.Step.txn) && not committed.(w.Step.txn)
+              then begin
+                Bitset.clear arrived.(w.Step.txn) w.Step.node;
+                Pqueue.push events
+                  (Faults.deliver inj ~site:s ~now:!now
+                     ~transit:(Faults.plan inj).Faults.retransmit)
+                  (Arrive (w, winc))
+              end;
+              drop ()
+        in
+        drop ();
+        match l.holder with
+        | Some h when not committed.(h) -> abort h
+        | _ -> ()
+      end
+    done
   in
   (* The wait-for graph of currently-valid waiters. *)
   let wait_for_arcs () =
@@ -206,7 +286,11 @@ let run ~scheme ?(config = default_config) rng sys =
   done;
   (match scheme with
   | Detect { period } -> Pqueue.push events period Tick
-  | Wait_die | Wound_wait -> ());
+  | Wait_die | Wound_wait | Timeout _ -> ());
+  List.iter
+    (fun (w : Faults.window) ->
+      Pqueue.push events w.Faults.from_t (Crash w.Faults.site))
+    faults.Faults.crashes;
   let rec loop () =
     if !commits < n then
       match Pqueue.pop events with
@@ -217,6 +301,20 @@ let run ~scheme ?(config = default_config) rng sys =
           (match ev with
           | Restart (j, inc) ->
               if inc = incarnation.(j) && not committed.(j) then start_ready j
+          | Crash s -> on_crash s
+          | Deadline (step, inc) ->
+              (* Still waiting (not granted, not executed) in the same
+                 incarnation: time out, abort, restart with backoff. *)
+              let j = step.Step.txn in
+              if
+                inc = incarnation.(j)
+                && (not committed.(j))
+                && (not (Bitset.mem executed.(j) step.Step.node))
+                && locks.(entity_of step).holder <> Some j
+              then begin
+                attempts.(j) <- attempts.(j) + 1;
+                abort j
+              end
           | Tick ->
               (match scheme with
               | Detect { period } ->
@@ -228,16 +326,18 @@ let run ~scheme ?(config = default_config) rng sys =
                       abort (List.fold_left max (List.hd cycle) cycle)
                   | None -> ());
                   if !commits < n then Pqueue.push events (t +. period) Tick
-              | Wait_die | Wound_wait -> ())
+              | Wait_die | Wound_wait | Timeout _ -> ())
           | Arrive (step, inc) ->
-              if inc = incarnation.(step.Step.txn) then begin
+              if
+                inc = incarnation.(step.Step.txn)
+                && not (Bitset.mem arrived.(step.Step.txn) step.Step.node)
+              then begin
+                Bitset.set arrived.(step.Step.txn) step.Step.node;
                 let l = locks.(entity_of step) in
                 match l.holder with
                 | None ->
                     l.holder <- Some step.Step.txn;
-                    Pqueue.push events
-                      (!now +. duration step.Step.txn (entity_of step))
-                      (Complete (step, inc))
+                    push_grant step inc (entity_of step)
                 | Some h -> on_lock_conflict step inc h
               end
           | Complete (step, inc) ->
@@ -285,6 +385,7 @@ let run ~scheme ?(config = default_config) rng sys =
         makespan = !makespan;
         timed_out = !commits < n;
       };
+    aborts_by_txn;
     committed_trace;
     stuck_waits;
   }
@@ -292,19 +393,21 @@ let run ~scheme ?(config = default_config) rng sys =
 type batch_stats = {
   runs : int;
   total_aborts : int;
+  max_aborts_single_txn : int;
   timeouts : int;
   illegal_traces : int;
   non_serializable_traces : int;
   mean_makespan : float;
 }
 
-let batch ~scheme ?config rng sys ~runs =
-  let aborts = ref 0 and timeouts = ref 0 in
+let batch ~scheme ?config ?faults rng sys ~runs =
+  let aborts = ref 0 and timeouts = ref 0 and max_single = ref 0 in
   let illegal = ref 0 and bad = ref 0 in
   let total = ref 0.0 and completed = ref 0 in
   for _ = 1 to runs do
-    let r = run ~scheme ?config rng sys in
+    let r = run ~scheme ?config ?faults rng sys in
     aborts := !aborts + r.stats.aborts;
+    Array.iter (fun a -> if a > !max_single then max_single := a) r.aborts_by_txn;
     if r.stats.timed_out then incr timeouts
     else begin
       incr completed;
@@ -316,6 +419,7 @@ let batch ~scheme ?config rng sys ~runs =
   {
     runs;
     total_aborts = !aborts;
+    max_aborts_single_txn = !max_single;
     timeouts = !timeouts;
     illegal_traces = !illegal;
     non_serializable_traces = !bad;
@@ -325,6 +429,7 @@ let batch ~scheme ?config rng sys ~runs =
 
 let pp_batch ppf s =
   Format.fprintf ppf
-    "%d runs: %d aborts, %d timeouts, %d illegal, %d non-serializable, mean makespan %.2f"
-    s.runs s.total_aborts s.timeouts s.illegal_traces s.non_serializable_traces
-    s.mean_makespan
+    "%d runs: %d aborts (max %d per txn), %d timeouts, %d illegal, %d \
+     non-serializable, mean makespan %.2f"
+    s.runs s.total_aborts s.max_aborts_single_txn s.timeouts s.illegal_traces
+    s.non_serializable_traces s.mean_makespan

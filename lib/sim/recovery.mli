@@ -2,9 +2,9 @@ open Ddlock_model
 open Ddlock_schedule
 
 (** Runtime deadlock handling: the classic timestamp schemes of
-    Rosenkrantz, Stearns & Lewis [RSL, cited by the paper] plus periodic
-    detect-and-abort — the {e dynamic} alternatives to the paper's static
-    guarantees.
+    Rosenkrantz, Stearns & Lewis [RSL, cited by the paper], periodic
+    detect-and-abort, and lock-wait timeout with exponential backoff —
+    the {e dynamic} alternatives to the paper's static guarantees.
 
     Unlike {!Runtime}, transactions here can {e abort}: an aborted
     transaction releases all its locks, discards its progress, and
@@ -17,12 +17,30 @@ open Ddlock_schedule
       (the younger holder aborts); a younger requester waits.
     - {b Detect} : requests always wait; every [period] the wait-for
       graph is checked and the youngest transaction on a cycle aborts.
+    - {b Timeout} : requests wait at most a deadline; a request still
+      ungranted when its deadline fires aborts the transaction, which
+      restarts after an exponential-backoff delay with jitter.  The wait
+      window starts at [base], doubles with every timeout up to
+      [max_retries] doublings, and is capped at [cap]; the jitter
+      (uniform in [[0.5w, 1.5w)]) breaks symmetric restart races — the
+      probabilistic cousin of the timestamp schemes.
 
     Wound-wait and wait-die can never deadlock; detect-and-abort resolves
-    every deadlock it finds.  These properties are validated in the test
-    suite against workloads that reliably deadlock under {!Runtime}. *)
+    every deadlock it finds; timeout breaks every deadlock by timing out
+    a participant.  These properties are validated in the test suite
+    against workloads that reliably deadlock under {!Runtime}.
 
-type scheme = Wait_die | Wound_wait | Detect of { period : float }
+    All schemes accept a {!Faults.plan}.  On top of the message faults of
+    {!Runtime}, a crash window here {e drops the site's lock tables}:
+    transactions holding locks at the crashed site are aborted (their
+    in-flight grants die with the incarnation bump) and queued waiters
+    retransmit their requests once the site is back up. *)
+
+type scheme =
+  | Wait_die
+  | Wound_wait
+  | Detect of { period : float }
+  | Timeout of { base : float; cap : float; max_retries : int }
 
 type config = {
   base : Runtime.config;
@@ -31,6 +49,10 @@ type config = {
 }
 
 val default_config : config
+
+(** [Timeout] with the default base/cap/retry budget, tuned to resolve
+    the contended test workloads well before [max_time]. *)
+val default_timeout : scheme
 
 type stats = {
   commits : int;
@@ -41,6 +63,9 @@ type stats = {
 
 type run = {
   stats : stats;
+  aborts_by_txn : int array;
+      (** per-transaction abort counts; a large single entry is
+          starvation made visible *)
   committed_trace : Step.t list;
       (** steps of committed incarnations only, in completion order — a
           legal schedule of the system when [timed_out = false] *)
@@ -49,15 +74,24 @@ type run = {
           a run ends without all transactions committed *)
 }
 
-(** [run ~scheme ?config rng sys] executes until every transaction has
-    committed (or [max_time]). *)
-val run : scheme:scheme -> ?config:config -> Random.State.t -> System.t -> run
+(** [run ~scheme ?config ?faults rng sys] executes until every
+    transaction has committed (or [max_time]). *)
+val run :
+  scheme:scheme ->
+  ?config:config ->
+  ?faults:Faults.plan ->
+  Random.State.t ->
+  System.t ->
+  run
 
 (** Repeated seeded runs; accumulates commits/aborts and validates each
     committed trace's legality and serializability. *)
 type batch_stats = {
   runs : int;
   total_aborts : int;
+  max_aborts_single_txn : int;
+      (** the worst abort count suffered by any single transaction in any
+          run — bounded under wait-die/wound-wait (no starvation) *)
   timeouts : int;
   illegal_traces : int;
   non_serializable_traces : int;
@@ -67,6 +101,7 @@ type batch_stats = {
 val batch :
   scheme:scheme ->
   ?config:config ->
+  ?faults:Faults.plan ->
   Random.State.t ->
   System.t ->
   runs:int ->

@@ -30,13 +30,17 @@ type lock_state = { mutable holder : int option; waiters : Step.t Queue.t }
    granted, executes (Complete).  Unlocks only have a Complete phase. *)
 type event = Arrive of Step.t | Complete of Step.t
 
-let run ?(config = default_config) rng sys =
+let run ?(config = default_config) ?(faults = Faults.none) rng sys =
   let n = System.size sys in
   let db = System.db sys in
   let ne = Db.entity_count db in
+  let inj = Faults.injector faults in
   let locks = Array.init ne (fun _ -> { holder = None; waiters = Queue.create () }) in
   let executed = Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i)) in
   let started = Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i)) in
+  (* Requests already processed by a lock manager, for dedup of
+     duplicated deliveries. *)
+  let arrived = Array.init n (fun i -> Transaction.empty_prefix (System.txn sys i)) in
   let last_site = Array.make n (-1) in
   let events : event Pqueue.t = Pqueue.create () in
   let trace = ref [] in
@@ -52,17 +56,30 @@ let run ?(config = default_config) rng sys =
     d +. extra
   in
   (* Begin executing a node whose predecessors are all done.  Locks first
-     travel to the lock manager; everything else is scheduled directly. *)
+     travel to the lock manager; everything else is scheduled directly.
+     Every message (request, grant, release) goes through the fault
+     injector, which may add loss-retransmission and crash/stall delays
+     and duplicate lock requests. *)
   let rec start (step : Step.t) =
     let tx = System.txn sys step.txn in
     let nd = Transaction.node tx step.node in
     Bitset.set started.(step.txn) step.node;
+    let site = Db.site_of db nd.entity in
     match nd.Node.op with
     | Node.Unlock ->
-        Pqueue.push events (!now +. duration step.txn nd.entity) (Complete step)
+        let d = duration step.txn nd.entity in
+        Pqueue.push events
+          (Faults.deliver inj ~site ~now:!now ~transit:d)
+          (Complete step)
     | Node.Lock ->
         let transit = Random.State.float rng (max 1e-9 config.request_jitter) in
-        Pqueue.push events (!now +. transit) (Arrive step)
+        Pqueue.push events
+          (Faults.deliver inj ~site ~now:!now ~transit)
+          (Arrive step);
+        if Faults.duplicated inj ~now:!now then
+          Pqueue.push events
+            (Faults.deliver inj ~site ~now:!now ~transit)
+            (Arrive step)
   and start_ready i =
     List.iter
       (fun v ->
@@ -84,19 +101,31 @@ let run ?(config = default_config) rng sys =
   let entity_of (step : Step.t) =
     (Transaction.node (System.txn sys step.txn) step.node).Node.entity
   in
+  (* The grant travels back from the manager to the transaction, so it is
+     subject to the same message faults as requests. *)
+  let grant_delivery (w : Step.t) e =
+    Pqueue.push events
+      (Faults.deliver inj
+         ~site:(Db.site_of db e)
+         ~now:!now
+         ~transit:(duration w.Step.txn e))
+      (Complete w)
+  in
   let rec loop () =
     match Pqueue.pop events with
     | None -> ()
     | Some (t, Arrive step) ->
         now := t;
-        let l = locks.(entity_of step) in
-        (match l.holder with
-        | None ->
-            l.holder <- Some step.Step.txn;
-            Pqueue.push events
-              (!now +. duration step.Step.txn (entity_of step))
-              (Complete step)
-        | Some _ -> Queue.push step l.waiters);
+        (* Duplicated deliveries of the same request are ignored. *)
+        if not (Bitset.mem arrived.(step.Step.txn) step.Step.node) then begin
+          Bitset.set arrived.(step.Step.txn) step.Step.node;
+          let l = locks.(entity_of step) in
+          match l.holder with
+          | None ->
+              l.holder <- Some step.Step.txn;
+              grant_delivery step (entity_of step)
+          | Some _ -> Queue.push step l.waiters
+        end;
         loop ()
     | Some (t, Complete step) ->
         now := t;
@@ -112,9 +141,7 @@ let run ?(config = default_config) rng sys =
             | None -> ()
             | Some w ->
                 l.holder <- Some w.Step.txn;
-                Pqueue.push events
-                  (!now +. duration w.Step.txn nd.entity)
-                  (Complete w))
+                grant_delivery w nd.entity)
         | Node.Lock -> ());
         start_ready step.txn;
         loop ()
@@ -150,10 +177,10 @@ type batch_stats = {
   mean_makespan : float;
 }
 
-let batch ?config rng sys ~runs =
+let batch ?config ?faults rng sys ~runs =
   let deadlocks = ref 0 and bad = ref 0 and total = ref 0.0 and completed = ref 0 in
   for _ = 1 to runs do
-    let r = run ?config rng sys in
+    let r = run ?config ?faults rng sys in
     match r.outcome with
     | Deadlock _ -> incr deadlocks
     | Finished { makespan } ->

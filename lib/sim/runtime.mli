@@ -41,8 +41,17 @@ type outcome =
 
 type run = { outcome : outcome; trace : trace_entry list }
 
-(** [run ?config rng sys] executes one instance of the system. *)
-val run : ?config:config -> Random.State.t -> System.t -> run
+(** [run ?config ?faults rng sys] executes one instance of the system.
+
+    [faults] (default {!Faults.none}) injects message loss with
+    retransmission, duplication of lock requests (deduplicated at the
+    manager), and crash/stall windows during which a site buffers
+    incoming messages.  This runtime has no abort machinery, so crashed
+    sites keep their lock tables (fail-stop with stable storage); see
+    {!Recovery} for crashes that drop lock state.  With [faults] absent
+    the run is byte-identical to the fault-free simulator. *)
+val run :
+  ?config:config -> ?faults:Faults.plan -> Random.State.t -> System.t -> run
 
 (** The schedule executed by a run (steps in time order). *)
 val schedule_of_run : run -> Step.t list
@@ -55,9 +64,17 @@ type batch_stats = {
   mean_makespan : float;  (** over completed runs; nan if none *)
 }
 
-(** [batch ?config rng sys ~runs] — repeated seeded executions with
-    serializability checking of every completed trace. *)
-val batch : ?config:config -> Random.State.t -> System.t -> runs:int -> batch_stats
+(** [batch ?config ?faults rng sys ~runs] — repeated seeded executions
+    with serializability checking of every completed trace.  The same
+    fault plan is replayed each run (with a fresh injector), so only the
+    simulator's randomness varies. *)
+val batch :
+  ?config:config ->
+  ?faults:Faults.plan ->
+  Random.State.t ->
+  System.t ->
+  runs:int ->
+  batch_stats
 
 val pp_outcome : System.t -> Format.formatter -> outcome -> unit
 val pp_batch : Format.formatter -> batch_stats -> unit

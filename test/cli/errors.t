@@ -1,0 +1,21 @@
+A missing input file is a one-line error and exit code 2, for every
+subcommand that loads one:
+
+  $ ../../bin/ddlock_cli.exe validate no-such-file.txn
+  no-such-file.txn: No such file or directory
+  [2]
+
+  $ ../../bin/ddlock_cli.exe analyze no-such-file.txn
+  no-such-file.txn: No such file or directory
+  [2]
+
+  $ ../../bin/ddlock_cli.exe chaos no-such-file.txn
+  no-such-file.txn: No such file or directory
+  [2]
+
+So is a file that does not parse:
+
+  $ printf 'this is not a system file\n' > garbage.txn
+  $ ../../bin/ddlock_cli.exe validate garbage.txn
+  garbage.txn: line 1: no site declarations
+  [2]

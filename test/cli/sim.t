@@ -7,4 +7,9 @@ Seeded simulation runs are reproducible:
 Recovery schemes always drive the workload to completion:
 
   $ ../../bin/ddlock_cli.exe recover phil.txn --scheme detect --runs 20 --seed 7
-  20 runs: 20 aborts, 0 timeouts, 0 illegal, 0 non-serializable, mean makespan 19.73
+  20 runs: 20 aborts (max 1 per txn), 0 timeouts, 0 illegal, 0 non-serializable, mean makespan 19.73
+
+The lock-wait timeout scheme also clears the deadlock on every run:
+
+  $ ../../bin/ddlock_cli.exe recover phil.txn --scheme timeout --runs 20 --seed 7
+  20 runs: 37 aborts (max 1 per txn), 0 timeouts, 0 illegal, 0 non-serializable, mean makespan 36.14

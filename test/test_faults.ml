@@ -1,0 +1,326 @@
+open Ddlock_model
+open Ddlock_schedule
+open Ddlock_sim
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness: invariants survive every seeded fault plan            *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_sweep () =
+  (* 3 cases x (4 schemes + 1 runtime probe) x 67 seeds = 1005 runs. *)
+  let r =
+    Chaos.sweep ~seeds:67 ~schemes:Chaos.default_schemes
+      ~cases:(Chaos.default_cases ()) 0xc4a05
+  in
+  check bool_t "at least 1000 runs" true (r.Chaos.runs >= 1000);
+  List.iter
+    (fun (seed, where, _) ->
+      Alcotest.failf "chaos violation in %s at seed %d" where seed)
+    r.Chaos.violations;
+  check int_t "every run clean" r.Chaos.runs r.Chaos.clean_runs
+
+(* ------------------------------------------------------------------ *)
+(* Timeout scheme                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeout_resolves_reliable_deadlock () =
+  (* Philosophers k=3 deadlock on nearly every seed under the plain
+     runtime with the default config ... *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 3 in
+  let rng = Fixtures.rng 31 in
+  let deadlocks = ref 0 in
+  for _ = 1 to 50 do
+    match (Runtime.run rng sys).Runtime.outcome with
+    | Runtime.Deadlock _ -> incr deadlocks
+    | Runtime.Finished _ -> ()
+  done;
+  check bool_t "plain runtime reliably deadlocks (>= 45/50)" true
+    (!deadlocks >= 45);
+  (* ... and the Timeout scheme commits 100% of them. *)
+  let rng = Fixtures.rng 32 in
+  let stats = Recovery.batch ~scheme:Recovery.default_timeout rng sys ~runs:50 in
+  check int_t "100% commit rate" 0 stats.Recovery.timeouts;
+  check int_t "traces legal" 0 stats.Recovery.illegal_traces;
+  check int_t "traces serializable" 0 stats.Recovery.non_serializable_traces;
+  check bool_t "timeouts actually fired" true (stats.Recovery.total_aborts > 0)
+
+let test_timeout_quiet_when_conflict_free () =
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a" ];
+        Builder.two_phase_chain db [ "b" ];
+        Builder.two_phase_chain db [ "c" ];
+      ]
+  in
+  let rng = Fixtures.rng 33 in
+  let stats = Recovery.batch ~scheme:Recovery.default_timeout rng sys ~runs:30 in
+  check int_t "zero aborts" 0 stats.Recovery.total_aborts;
+  check int_t "zero timeouts" 0 stats.Recovery.timeouts
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic replay: seed + plan ⇒ byte-identical trace             *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic_replay () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  let plan =
+    Faults.random (Fixtures.rng 41) (System.db sys) ~intensity:0.8
+      ~horizon:30.0
+  in
+  let a = Runtime.run ~faults:plan (Fixtures.rng 42) sys in
+  let b = Runtime.run ~faults:plan (Fixtures.rng 42) sys in
+  check bool_t "runtime traces identical" true
+    (a.Runtime.trace = b.Runtime.trace && a.Runtime.outcome = b.Runtime.outcome);
+  List.iter
+    (fun (name, scheme) ->
+      let r1 = Recovery.run ~scheme ~faults:plan (Fixtures.rng 43) sys in
+      let r2 = Recovery.run ~scheme ~faults:plan (Fixtures.rng 43) sys in
+      check bool_t (name ^ ": replay identical") true
+        (r1.Recovery.committed_trace = r2.Recovery.committed_trace
+        && r1.Recovery.stats = r2.Recovery.stats
+        && r1.Recovery.aborts_by_txn = r2.Recovery.aborts_by_txn))
+    Chaos.default_schemes;
+  let names = "catalog" :: List.init 3 (fun i -> "row" ^ string_of_int i) in
+  let db = Db.one_site_per_entity names in
+  let catalog = Db.find_entity_exn db "catalog" in
+  let mk i =
+    let row = Db.find_entity_exn db ("row" ^ string_of_int i) in
+    match
+      Ddlock_rw.Rw_txn.of_total_order db
+        [
+          {
+            Ddlock_rw.Rw_txn.entity = catalog;
+            op = Ddlock_rw.Rw_txn.Lock Ddlock_rw.Rw_txn.Read;
+          };
+          {
+            Ddlock_rw.Rw_txn.entity = row;
+            op = Ddlock_rw.Rw_txn.Lock Ddlock_rw.Rw_txn.Write;
+          };
+          { Ddlock_rw.Rw_txn.entity = catalog; op = Ddlock_rw.Rw_txn.Unlock };
+          { Ddlock_rw.Rw_txn.entity = row; op = Ddlock_rw.Rw_txn.Unlock };
+        ]
+    with
+    | Ok t -> t
+    | Error _ -> assert false
+  in
+  let rwsys = Ddlock_rw.Rw_system.create (List.init 3 mk) in
+  let plan =
+    Faults.random (Fixtures.rng 44)
+      (Ddlock_rw.Rw_system.db rwsys)
+      ~intensity:0.8 ~horizon:30.0
+  in
+  let a = Ddlock_rw.Rw_runtime.run ~faults:plan (Fixtures.rng 45) rwsys in
+  let b = Ddlock_rw.Rw_runtime.run ~faults:plan (Fixtures.rng 45) rwsys in
+  check bool_t "rw traces identical" true
+    (a.Ddlock_rw.Rw_runtime.trace = b.Ddlock_rw.Rw_runtime.trace)
+
+let test_empty_plan_is_identity () =
+  (* The fault layer must be invisible when no plan is given: same seed,
+     byte-identical trace with and without [~faults:Faults.none]. *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  let a = Runtime.run (Fixtures.rng 51) sys in
+  let b = Runtime.run ~faults:Faults.none (Fixtures.rng 51) sys in
+  check bool_t "runtime identical" true (a.Runtime.trace = b.Runtime.trace);
+  let r1 = Recovery.run ~scheme:Recovery.Wound_wait (Fixtures.rng 52) sys in
+  let r2 =
+    Recovery.run ~scheme:Recovery.Wound_wait ~faults:Faults.none
+      (Fixtures.rng 52) sys
+  in
+  check bool_t "recovery identical" true
+    (r1.Recovery.committed_trace = r2.Recovery.committed_trace
+    && r1.Recovery.stats = r2.Recovery.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Per-transaction abort accounting and starvation visibility           *)
+(* ------------------------------------------------------------------ *)
+
+let test_abort_counts_sum () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  let r = Recovery.run ~scheme:Recovery.Wound_wait (Fixtures.rng 61) sys in
+  check int_t "per-txn counts sum to aggregate" r.Recovery.stats.Recovery.aborts
+    (Array.fold_left ( + ) 0 r.Recovery.aborts_by_txn)
+
+let test_no_starvation_on_philosophers () =
+  (* Wait-die and wound-wait keep timestamps across restarts, so no
+     single transaction can rack up unbounded aborts: the worst per-txn
+     abort count over 60 contended runs stays small. *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  List.iter
+    (fun (name, scheme) ->
+      let rng = Fixtures.rng 62 in
+      let stats = Recovery.batch ~scheme rng sys ~runs:60 in
+      check bool_t (name ^ ": some aborts") true (stats.Recovery.total_aborts > 0);
+      check bool_t
+        (name ^ ": max per-txn aborts bounded")
+        true
+        (stats.Recovery.max_aborts_single_txn <= 25);
+      check bool_t
+        (name ^ ": max <= total")
+        true
+        (stats.Recovery.max_aborts_single_txn <= stats.Recovery.total_aborts))
+    [ ("wait-die", Recovery.Wait_die); ("wound-wait", Recovery.Wound_wait) ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash and message-fault semantics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_drops_locks_and_recovers () =
+  let sys = Ddlock_workload.Gentx.dining_philosophers 4 in
+  let plan =
+    {
+      Faults.none with
+      Faults.crashes =
+        [
+          { Faults.site = 0; from_t = 2.0; until_t = 8.0 };
+          { Faults.site = 1; from_t = 5.0; until_t = 9.0 };
+        ];
+      horizon = 10.0;
+    }
+  in
+  List.iter
+    (fun (name, scheme) ->
+      let r = Recovery.run ~scheme ~faults:plan (Fixtures.rng 71) sys in
+      check bool_t (name ^ ": commits all") true
+        (not r.Recovery.stats.Recovery.timed_out);
+      check bool_t (name ^ ": trace legal") true
+        (Schedule.is_complete sys r.Recovery.committed_trace);
+      check bool_t (name ^ ": trace serializable") true
+        (Dgraph.is_serializable sys r.Recovery.committed_trace))
+    Chaos.default_schemes
+
+let test_message_faults_preserve_safe_pair () =
+  (* Heavy loss and duplication only delay a safe&DF system: it still
+     finishes with a legal serializable trace and never deadlocks. *)
+  let db = Db.one_site_per_entity [ "a"; "b" ] in
+  let sys =
+    System.create
+      [
+        Builder.two_phase_chain db [ "a"; "b" ];
+        Builder.two_phase_chain db [ "a"; "b" ];
+      ]
+  in
+  let plan =
+    { Faults.none with Faults.loss = 0.5; dup = 0.5; horizon = 60.0; seed = 7 }
+  in
+  for i = 1 to 20 do
+    let r = Runtime.run ~faults:plan (Fixtures.rng (80 + i)) sys in
+    match r.Runtime.outcome with
+    | Runtime.Deadlock _ -> Alcotest.fail "safe pair deadlocked under faults"
+    | Runtime.Finished _ ->
+        let s = Runtime.schedule_of_run r in
+        check bool_t "complete" true (Schedule.is_complete sys s);
+        check bool_t "serializable" true (Dgraph.is_serializable sys s)
+  done
+
+let test_rw_faults_preserve_serializability () =
+  let names = "catalog" :: List.init 4 (fun i -> "row" ^ string_of_int i) in
+  let db = Db.one_site_per_entity names in
+  let catalog = Db.find_entity_exn db "catalog" in
+  let mk i =
+    let row = Db.find_entity_exn db ("row" ^ string_of_int i) in
+    match
+      Ddlock_rw.Rw_txn.of_total_order db
+        [
+          {
+            Ddlock_rw.Rw_txn.entity = catalog;
+            op = Ddlock_rw.Rw_txn.Lock Ddlock_rw.Rw_txn.Read;
+          };
+          {
+            Ddlock_rw.Rw_txn.entity = row;
+            op = Ddlock_rw.Rw_txn.Lock Ddlock_rw.Rw_txn.Write;
+          };
+          { Ddlock_rw.Rw_txn.entity = catalog; op = Ddlock_rw.Rw_txn.Unlock };
+          { Ddlock_rw.Rw_txn.entity = row; op = Ddlock_rw.Rw_txn.Unlock };
+        ]
+    with
+    | Ok t -> t
+    | Error _ -> assert false
+  in
+  let rwsys = Ddlock_rw.Rw_system.create (List.init 4 mk) in
+  let plan =
+    { Faults.none with Faults.loss = 0.4; dup = 0.4; horizon = 60.0; seed = 9 }
+  in
+  let rng = Fixtures.rng 91 in
+  for _ = 1 to 20 do
+    let r = Ddlock_rw.Rw_runtime.run ~faults:plan rng rwsys in
+    match r.Ddlock_rw.Rw_runtime.outcome with
+    | Ddlock_rw.Rw_runtime.Deadlock _ ->
+        Alcotest.fail "reader workload deadlocked under faults"
+    | Ddlock_rw.Rw_runtime.Finished _ ->
+        check bool_t "conflict serializable" true
+          (Ddlock_rw.Rw_system.is_conflict_serializable rwsys
+             r.Ddlock_rw.Rw_runtime.trace)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan generator sanity                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_plan_shapes () =
+  let db = Db.one_site_per_entity [ "a"; "b"; "c" ] in
+  let st = Fixtures.rng 99 in
+  for _ = 1 to 100 do
+    let p = Faults.random st db ~intensity:1.0 ~horizon:40.0 in
+    check bool_t "loss < 1" true (p.Faults.loss < 1.0);
+    check bool_t "dup < 1" true (p.Faults.dup < 1.0);
+    List.iter
+      (fun (w : Faults.window) ->
+        check bool_t "window well-formed" true (w.Faults.from_t < w.Faults.until_t);
+        check bool_t "site in range" true
+          (w.Faults.site >= 0 && w.Faults.site < Db.site_count db))
+      (p.Faults.crashes @ p.Faults.stalls)
+  done;
+  let p0 = Faults.random st db ~intensity:0.0 ~horizon:40.0 in
+  check bool_t "zero intensity is fault-free" true (Faults.is_none p0)
+
+let chaos_invariants_prop =
+  QCheck.Test.make
+    ~name:"chaos invariants hold on random systems under random fault plans"
+    ~count:25
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      let plan =
+        Faults.random st (System.db sys)
+          ~intensity:(Random.State.float st 0.8)
+          ~horizon:30.0
+      in
+      List.for_all
+        (fun (_, scheme) ->
+          let vs, _ = Chaos.run_case ~scheme ~faults:plan st sys in
+          vs = [])
+        Chaos.default_schemes)
+
+let qtests = List.map Fixtures.to_alcotest [ chaos_invariants_prop ]
+
+let suite =
+  [
+    Alcotest.test_case "chaos sweep: 1000+ runs, zero violations" `Quick
+      test_chaos_sweep;
+    Alcotest.test_case "timeout resolves reliable deadlock" `Quick
+      test_timeout_resolves_reliable_deadlock;
+    Alcotest.test_case "timeout quiet when conflict-free" `Quick
+      test_timeout_quiet_when_conflict_free;
+    Alcotest.test_case "deterministic replay under faults" `Quick
+      test_deterministic_replay;
+    Alcotest.test_case "empty plan is identity" `Quick
+      test_empty_plan_is_identity;
+    Alcotest.test_case "per-txn abort counts sum" `Quick test_abort_counts_sum;
+    Alcotest.test_case "no starvation on philosophers" `Quick
+      test_no_starvation_on_philosophers;
+    Alcotest.test_case "crash drops locks, schemes recover" `Quick
+      test_crash_drops_locks_and_recovers;
+    Alcotest.test_case "message faults preserve safe pair" `Quick
+      test_message_faults_preserve_safe_pair;
+    Alcotest.test_case "rw faults preserve serializability" `Quick
+      test_rw_faults_preserve_serializability;
+    Alcotest.test_case "random plan shapes" `Quick test_random_plan_shapes;
+  ]
+  @ qtests

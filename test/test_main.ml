@@ -8,6 +8,7 @@ let () =
       ("safety", Test_safety.suite);
       ("conp", Test_conp.suite);
       ("sim", Test_sim.suite);
+      ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("policy", Test_policy.suite);
       ("rw", Test_rw.suite);
