@@ -15,7 +15,7 @@
    Run with:  dune exec bench/main.exe                 (everything)
               dune exec bench/main.exe -- SECTION...   (a subset)
    Sections: agreement micro theorem4 exhaustive sim crossover recovery
-             faults sm geometry rw
+             faults sm geometry rw par
 *)
 
 open Bechamel
@@ -509,6 +509,92 @@ let faults () =
     [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exploration: jobs sweep on the biggest state spaces        *)
+(* ------------------------------------------------------------------ *)
+
+(* [Sys.time] measures CPU time summed over domains, which makes a
+   parallel run look slower the better it scales; the jobs sweep needs
+   wall clock. *)
+let wall_clock f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let par () =
+  header "E20 parallel exploration: jobs sweep (deterministic engine)";
+  let cores =
+    match Sys.getenv_opt "BENCH_CORES" with
+    | Some s -> (try int_of_string s with _ -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  Format.printf "  recommended domain count on this machine: %d@." cores;
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let workloads =
+    [
+      ("philosophers k=5", Workload.Gentx.dining_philosophers 5);
+      ("philosophers k=6", Workload.Gentx.dining_philosophers 6);
+      ("2 copies of 6-ring", System.copies (Workload.Gentx.guard_ring 6) 2);
+    ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"bench\": \"par\",\n  \"cores\": %d,\n  \"series\": [" cores);
+  Format.printf "  %-22s %-10s %-8s %-12s %-10s@." "workload" "states" "jobs"
+    "wall (ms)" "speedup";
+  List.iteri
+    (fun wi (name, sys) ->
+      (* Sequential reference: states and the Theorem-1 verdict. *)
+      let seq_space, seq_ms = wall_clock (fun () -> Sched.Explore.explore sys) in
+      let seq_states = Sched.Explore.state_count seq_space in
+      Format.printf "  %-22s %-10d %-8d %-12.1f %-10s@." name seq_states 1
+        seq_ms "1.00x";
+      if wi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"workload\": %S, \"states\": %d, \"seq_ms\": %.2f, \"runs\": ["
+           name seq_states seq_ms);
+      List.iteri
+        (fun ji jobs ->
+          let space, ms =
+            wall_clock (fun () -> Par.Par_explore.explore ~jobs sys)
+          in
+          let states = Par.Par_explore.state_count space in
+          assert (states = seq_states);
+          let speedup = seq_ms /. ms in
+          if jobs > 1 then
+            Format.printf "  %-22s %-10d %-8d %-12.1f %-10s@." "" states jobs
+              ms
+              (Printf.sprintf "%.2fx" speedup);
+          if ji > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n      { \"jobs\": %d, \"ms\": %.2f, \"speedup\": %.2f }"
+               jobs ms speedup))
+        jobs_list;
+      Buffer.add_string buf "\n    ] }")
+    workloads;
+  (* Theorem-1 prefix search with the predicate evaluated in parallel. *)
+  (match Analysis.repair_with_global_order (Workload.Gentx.dining_philosophers 6) with
+  | None -> ()
+  | Some repaired ->
+      Format.printf "@.  prefix search (repaired philosophers k=6, deadlock-free):@.";
+      List.iter
+        (fun jobs ->
+          let df, ms =
+            wall_clock (fun () ->
+                Deadlock.Prefix_search.deadlock_free ~jobs repaired)
+          in
+          assert df;
+          Format.printf "  %-22s %-10s %-8d %-12.1f@." "prefix-search" "-" jobs
+            ms)
+        jobs_list);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_par.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Read/write modes: readers-share speedup                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -560,6 +646,7 @@ let () =
       ("sm", sm_fixed);
       ("geometry", geometry);
       ("rw", rw_modes);
+      ("par", par);
     ]
   in
   let requested =

@@ -54,6 +54,17 @@ let max_states_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs" ]
+       ~doc:"Worker domains for the exhaustive search (results are \
+             identical for every value; 1 = sequential).")
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    Format.eprintf "ddlock: --jobs must be >= 1 (got %d)@." jobs;
+    exit 2
+  end
+
 (* ----------------------------- validate ---------------------------- *)
 
 let validate_cmd =
@@ -70,10 +81,11 @@ let validate_cmd =
 (* ----------------------------- analyze ----------------------------- *)
 
 let analyze_cmd =
-  let run file max_states =
+  let run file max_states jobs =
+    check_jobs jobs;
     let r = load file in
     let sys = Parser.system_of_result r in
-    let report = Analysis.report ~max_states sys in
+    let report = Analysis.report ~max_states ~jobs sys in
     Format.printf "%a@." (Analysis.pp_report sys) report;
     (match report.Analysis.deadlock with
     | Analysis.Deadlocks { schedule; _ } ->
@@ -96,7 +108,7 @@ let analyze_cmd =
        ~doc:
          "Full analysis: Theorem 3/4 safety∧deadlock-freedom plus bounded \
           exhaustive deadlock search.")
-    Term.(const run $ file_arg $ max_states_arg)
+    Term.(const run $ file_arg $ max_states_arg $ jobs_arg)
 
 (* ------------------------------- pair ------------------------------ *)
 
@@ -191,7 +203,16 @@ let gen_cmd =
   let txns_arg =
     Arg.(value & opt int 3 & info [ "txns" ] ~doc:"Transactions (random kind).")
   in
-  let run kind n txns seed =
+  let copies_arg =
+    Arg.(value & opt int 1 & info [ "copies" ]
+         ~doc:"Emit this many copies of every generated transaction \
+               (e.g. ring -n 4 --copies 2 is the paper's Fig. 2 shape).")
+  in
+  let run kind n txns copies seed =
+    if copies < 1 then begin
+      Format.eprintf "ddlock: --copies must be >= 1 (got %d)@." copies;
+      exit 2
+    end;
     let named sys =
       List.mapi
         (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
@@ -214,11 +235,21 @@ let gen_cmd =
           in
           (db, named sys)
     in
+    let pairs =
+      if copies = 1 then pairs
+      else
+        List.concat_map
+          (fun c ->
+            List.map
+              (fun (name, t) -> (Printf.sprintf "%s_%d" name (c + 1), t))
+              pairs)
+          (List.init copies Fun.id)
+    in
     print_string (Parser.to_source db pairs)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a system file on stdout.")
-    Term.(const run $ kind_arg $ size_arg $ txns_arg $ seed_arg)
+    Term.(const run $ kind_arg $ size_arg $ txns_arg $ copies_arg $ seed_arg)
 
 (* ----------------------------- sat-reduce -------------------------- *)
 
@@ -317,10 +348,11 @@ let repair_cmd =
 (* ----------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run file max_states =
+  let run file max_states jobs =
+    check_jobs jobs;
     let r = load file in
     let sys = Parser.system_of_result r in
-    match Minimize.deadlock_core ~max_states sys with
+    match Minimize.deadlock_core ~max_states ~jobs sys with
     | None ->
         Format.printf
           "# no deadlock found (deadlock-free, or search budget exceeded)@.";
@@ -348,7 +380,7 @@ let minimize_cmd =
     (Cmd.info "minimize"
        ~doc:
          "Shrink a deadlocking system to a minimal core that still           deadlocks (drops transactions and entity accesses).")
-    Term.(const run $ file_arg $ max_states_arg)
+    Term.(const run $ file_arg $ max_states_arg $ jobs_arg)
 
 (* ------------------------------- dot ------------------------------- *)
 

@@ -19,22 +19,34 @@
      loss/duplication, manager stalls) over wound-wait and the timeout
      scheme never breaks the committed-trace invariants of Sim.Chaos;
    - rw invariants: exclusive-abstraction deadlock-freedom implies rw
-     deadlock-freedom (2 transactions).
+     deadlock-freedom (2 transactions);
+   - with [--jobs n], n > 1: the deterministic parallel engine
+     (Par.Par_explore) vs the sequential explorer — identical state
+     counts, identical deadlock witnesses, identical Lemma-1
+     counterexamples, identical Theorem-1 prefix verdicts.
 *)
 
 open Ddlock
 module System = Model.System
 
 let () =
-  let rounds = ref 500 and seed = ref 1 and txns = ref 3 in
+  let rounds = ref 500 and seed = ref 1 and txns = ref 3 and jobs = ref 1 in
   let args =
     [
       ("--rounds", Arg.Set_int rounds, "number of rounds (default 500)");
       ("--seed", Arg.Set_int seed, "base seed (default 1)");
       ("--txns", Arg.Set_int txns, "transactions per system (default 3)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "also cross-check the parallel engine with 2..jobs domains \
+         (default 1 = off)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "fuzz [options]";
+  if !jobs < 1 then begin
+    prerr_endline "fuzz: --jobs must be >= 1";
+    exit 2
+  end;
   let failures = ref 0 in
   let report name round =
     incr failures;
@@ -127,6 +139,26 @@ let () =
         ("wound-wait", Sim.Recovery.Wound_wait);
         ("timeout", Sim.Recovery.default_timeout);
       ];
+    (* --- parallel engine vs sequential ground truth --- *)
+    if !jobs > 1 then begin
+      let j = 2 + (round mod (!jobs - 1)) in
+      if
+        Par.Par_explore.find_deadlock ~jobs:j sys
+        <> Sched.Explore.find_deadlock sys
+      then report "par find_deadlock" round;
+      if
+        Par.Par_explore.state_count (Par.Par_explore.explore ~jobs:j sys)
+        <> Sched.Explore.state_count (Sched.Explore.explore sys)
+      then report "par state count" round;
+      if
+        Par.Par_explore.safe_and_deadlock_free ~jobs:j pair_sys
+        <> Sched.Explore.safe_and_deadlock_free pair_sys
+      then report "par lemma1" round;
+      if
+        Deadlock.Prefix_search.find ~jobs:j sys = None
+        <> (Deadlock.Prefix_search.find sys = None)
+      then report "par prefix search" round
+    end;
     (* --- rw invariants --- *)
     let rwdb = Workload.Gentx.random_db ~sites:1 ~entities:3 in
     let rwmk () =

@@ -41,11 +41,15 @@ let pp_deadlock_verdict sys ppf = function
         "unknown (search budget exhausted after %d states; the problem is coNP-hard)"
         states_explored
 
-let deadlock_free ?(max_states = 500_000) sys =
+let deadlock_free ?(max_states = 500_000) ?(jobs = 1) sys =
+  Ddlock_par.Par_explore.validate_jobs jobs;
   match safe_and_deadlock_free sys with
   | Safe_and_deadlock_free -> Deadlock_free
   | _ -> (
-      match Explore.find_deadlock ~max_states sys with
+      match
+        if jobs = 1 then Explore.find_deadlock ~max_states sys
+        else Ddlock_par.Par_explore.find_deadlock ~max_states ~jobs sys
+      with
       | Some (schedule, state) -> Deadlocks { schedule; state }
       | None -> Deadlock_free
       | exception Explore.Too_large n -> Gave_up { states_explored = n })
@@ -62,7 +66,7 @@ type report = {
   deadlock : deadlock_verdict;
 }
 
-let report ?max_states sys =
+let report ?max_states ?jobs sys =
   let db = System.db sys in
   let g = System.interaction_graph sys in
   {
@@ -75,7 +79,7 @@ let report ?max_states sys =
     interaction_edges = Ungraph.edge_count g;
     interaction_cycles = Seq.length (Ungraph.cycles g);
     safety = safe_and_deadlock_free sys;
-    deadlock = deadlock_free ?max_states sys;
+    deadlock = deadlock_free ?max_states ?jobs sys;
   }
 
 type pair_counterexample = { steps : Step.t list; d_cycle : int list }

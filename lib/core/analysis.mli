@@ -35,10 +35,13 @@ type deadlock_verdict =
 
 val pp_deadlock_verdict : System.t -> Format.formatter -> deadlock_verdict -> unit
 
-(** [deadlock_free ?max_states sys] — first tries the polynomial
+(** [deadlock_free ?max_states ?jobs sys] — first tries the polynomial
     sufficient condition (safe ∧ DF ⇒ DF); otherwise runs the bounded
-    exhaustive Theorem-1 search.  Default budget: 500_000 states. *)
-val deadlock_free : ?max_states:int -> System.t -> deadlock_verdict
+    exhaustive Theorem-1 search, on [jobs] worker domains when
+    [jobs > 1] (the verdict and witness are identical for every [jobs];
+    see {!Ddlock_par.Par_explore}).  Default budget: 500_000 states.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+val deadlock_free : ?max_states:int -> ?jobs:int -> System.t -> deadlock_verdict
 
 (** {1 Reports} *)
 
@@ -54,8 +57,9 @@ type report = {
   deadlock : deadlock_verdict;
 }
 
-(** Full analysis: structural statistics plus both verdicts. *)
-val report : ?max_states:int -> System.t -> report
+(** Full analysis: structural statistics plus both verdicts.  [jobs]
+    parallelizes the exhaustive deadlock search (result unchanged). *)
+val report : ?max_states:int -> ?jobs:int -> System.t -> report
 
 val pp_report : System.t -> Format.formatter -> report -> unit
 

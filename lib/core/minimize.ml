@@ -9,14 +9,18 @@ type result = {
 
 (* Conservative deadlockability: [None] means "unknown" (budget hit) and
    the candidate move is rejected. *)
-let deadlocks ?max_states sys =
-  match Explore.find_deadlock ?max_states sys with
+let deadlocks ?max_states ?(jobs = 1) sys =
+  match
+    if jobs = 1 then Explore.find_deadlock ?max_states sys
+    else Ddlock_par.Par_explore.find_deadlock ?max_states ~jobs sys
+  with
   | Some _ -> Some true
   | None -> Some false
   | exception Explore.Too_large _ -> None
 
-let deadlock_core ?max_states sys =
-  match deadlocks ?max_states sys with
+let deadlock_core ?max_states ?(jobs = 1) sys =
+  Ddlock_par.Par_explore.validate_jobs jobs;
+  match deadlocks ?max_states ~jobs sys with
   | None | Some false -> None
   | Some true ->
       (* State: list of (original index, transaction). *)
@@ -24,7 +28,7 @@ let deadlock_core ?max_states sys =
       let dropped = ref [] in
       let mk txns = System.create (List.map snd txns) in
       let still_deadlocks txns =
-        List.length txns >= 2 && deadlocks ?max_states (mk txns) = Some true
+        List.length txns >= 2 && deadlocks ?max_states ~jobs (mk txns) = Some true
       in
       let changed = ref true in
       while !changed do

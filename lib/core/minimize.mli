@@ -19,6 +19,9 @@ type result = {
       (** (original txn index, entity) accesses removed *)
 }
 
-(** [deadlock_core ?max_states sys] — requires the input to deadlock
-    (returns [None] otherwise or when the search budget is exceeded). *)
-val deadlock_core : ?max_states:int -> System.t -> result option
+(** [deadlock_core ?max_states ?jobs sys] — requires the input to
+    deadlock (returns [None] otherwise or when the search budget is
+    exceeded).  [jobs > 1] runs each deadlockability re-check on the
+    parallel engine; the minimized core is identical for every [jobs].
+    Raises [Invalid_argument] when [jobs < 1]. *)
+val deadlock_core : ?max_states:int -> ?jobs:int -> System.t -> result option

@@ -16,14 +16,34 @@ let scan ?max_states sys =
       | Some cycle -> Some (st, cycle, sp))
     (Explore.states sp)
 
-let find ?max_states sys =
-  match scan ?max_states sys () with
-  | Seq.Nil -> None
-  | Seq.Cons ((prefix, cycle, sp), _) ->
-      let schedule = Option.get (Explore.schedule_to sp prefix) in
-      Some { prefix; schedule; cycle }
+let cyclic sys st = Reduction.has_cycle (Reduction.make sys st)
 
-let deadlock_free ?max_states sys = find ?max_states sys = None
+let find ?max_states ?(jobs = 1) sys =
+  Ddlock_par.Par_explore.validate_jobs jobs;
+  if jobs = 1 then
+    match scan ?max_states sys () with
+    | Seq.Nil -> None
+    | Seq.Cons ((prefix, cycle, sp), _) ->
+        let schedule = Option.get (Explore.schedule_to sp prefix) in
+        Some { prefix; schedule; cycle }
+  else
+    match
+      Ddlock_par.Par_explore.bfs ?max_states ~jobs sys ~found:(cyclic sys)
+    with
+    | None -> None
+    | Some (schedule, prefix) ->
+        let cycle =
+          match Reduction.find_cycle (Reduction.make sys prefix) with
+          | Some c -> c
+          | None -> assert false
+        in
+        Some { prefix; schedule; cycle }
 
-let all ?max_states sys =
-  Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)
+let deadlock_free ?max_states ?jobs sys = find ?max_states ?jobs sys = None
+
+let all ?max_states ?(jobs = 1) sys =
+  Ddlock_par.Par_explore.validate_jobs jobs;
+  if jobs = 1 then Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)
+  else
+    let sp = Ddlock_par.Par_explore.explore ?max_states ~jobs sys in
+    Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)

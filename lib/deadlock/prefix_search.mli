@@ -14,13 +14,22 @@ type witness = {
   cycle : Step.t list;  (** a cycle of R(A′) *)
 }
 
-(** First deadlock prefix found, scanning reachable states in BFS order. *)
-val find : ?max_states:int -> System.t -> witness option
+(** First deadlock prefix found.  With [jobs = 1] (the default) the
+    exact historical sequential path runs: the whole space is explored,
+    then scanned in table order.  With [jobs > 1] the search runs on the
+    deterministic parallel engine ({!Ddlock_par.Par_explore}), evaluating
+    the reduction-graph predicate concurrently, and returns the {e
+    canonical} witness — the first deadlock prefix in BFS insertion
+    order (hence of minimal depth) — identically for every [jobs > 1].
+    Raises [Invalid_argument] when [jobs < 1]. *)
+val find : ?max_states:int -> ?jobs:int -> System.t -> witness option
 
 (** [deadlock_free sys] iff no reachable state has a cyclic reduction
     graph — by Theorem 1 this is equivalent to
-    {!Ddlock_schedule.Explore.deadlock_free}. *)
-val deadlock_free : ?max_states:int -> System.t -> bool
+    {!Ddlock_schedule.Explore.deadlock_free}.  The verdict is identical
+    for every [jobs]. *)
+val deadlock_free : ?max_states:int -> ?jobs:int -> System.t -> bool
 
-(** All deadlock prefixes (reachable states with cyclic R). *)
-val all : ?max_states:int -> System.t -> State.t Seq.t
+(** All deadlock prefixes (reachable states with cyclic R).  With
+    [jobs > 1] the result is in deterministic BFS discovery order. *)
+val all : ?max_states:int -> ?jobs:int -> System.t -> State.t Seq.t

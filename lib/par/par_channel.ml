@@ -1,0 +1,21 @@
+(* Multi-producer batch channel used to hand successors discovered by one
+   worker domain over to the domain owning the destination shard.
+   Producers push whole per-level batches (one lock acquisition per
+   producer per level); the owner drains after the level barrier, so
+   draining is uncontended. *)
+
+type 'a t = { mutable batches : 'a list list; lock : Mutex.t }
+
+let create () = { batches = []; lock = Mutex.create () }
+
+let send t batch =
+  Mutex.lock t.lock;
+  t.batches <- batch :: t.batches;
+  Mutex.unlock t.lock
+
+let drain t =
+  Mutex.lock t.lock;
+  let bs = t.batches in
+  t.batches <- [];
+  Mutex.unlock t.lock;
+  bs

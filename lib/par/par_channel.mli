@@ -1,0 +1,15 @@
+(** Multi-producer batch channel for cross-shard successor handoff.
+
+    Producers {!send} whole batches under a mutex; the shard owner
+    {!drain}s everything after a barrier, when no producer is active. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [send t batch] — atomically appends [batch] (kept as one block). *)
+val send : 'a t -> 'a list -> unit
+
+(** [drain t] — removes and returns all batches sent so far, in
+    unspecified order. *)
+val drain : 'a t -> 'a list list

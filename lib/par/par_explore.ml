@@ -1,0 +1,306 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(* Deterministic multicore state-space exploration.
+
+   The search is a level-synchronous BFS over [jobs] worker domains.
+   The visited set is sharded by a hash of the state key, one hash table
+   per shard, owned by one domain — no global lock.  Each level runs in
+   three phases:
+
+   A. expansion (parallel): workers take strided slices of the frontier,
+      compute successors in the canonical enabled order, and hand each
+      candidate to the channel of the shard owning its key;
+
+   B. dedup (parallel): every shard owner drains its channel, drops
+      candidates already in its table, keeps for each new key the
+      candidate with the smallest (parent rank, successor index), sorts,
+      and evaluates the goal predicate on the survivors;
+
+   C. reduction (sequential, cheap): the per-shard sorted runs are merged
+      on (parent rank, successor index).  That order IS the sequential
+      BFS insertion order, so ranks, parent pointers, the [max_states]
+      cap and the first goal state all come out bit-identical to the
+      sequential engine, for every value of [jobs].
+
+   Only phase C is sequential, and it does one hash-table insert per
+   state; the expensive work — successor computation, key construction,
+   goal predicates such as deadlock or reduction-graph checks — happens
+   in phases A and B on all domains. *)
+
+let validate_jobs jobs =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "jobs must be >= 1 (got %d)" jobs)
+
+(* A search instance over an abstract node type: the plain state space
+   and the Lemma-1 extended space both instantiate this. *)
+type 'n ops = {
+  key : 'n -> string;
+  next : 'n -> (Step.t * 'n) list;  (* canonical successor order *)
+  restrict : 'n -> bool;
+  found : 'n -> bool;
+}
+
+type 'n entry = {
+  node : 'n;
+  parent : string option;
+  via : Step.t option;
+  rank : int;  (* sequential BFS insertion rank (initial state = 0) *)
+}
+
+type 'n table = {
+  jobs : int;
+  shards : (string, 'n entry) Hashtbl.t array;
+  mutable total : int;
+}
+
+let shard_key ~jobs k = Hashtbl.hash k mod jobs
+let find_entry t k = Hashtbl.find_opt t.shards.(shard_key ~jobs:t.jobs k) k
+
+let path_to t k =
+  let rec go k acc =
+    match find_entry t k with
+    | None -> None
+    | Some { parent = None; _ } -> Some acc
+    | Some { parent = Some p; via = Some s; _ } -> go p (s :: acc)
+    | Some { parent = Some _; via = None; _ } -> assert false
+  in
+  go k []
+
+type 'n cand = {
+  ckey : string;
+  cnode : 'n;
+  parent_rank : int;
+  parent_key : string;
+  via_step : Step.t;
+  ord : int;  (* index of this successor in the parent's enabled order *)
+  mutable hit : bool;
+}
+
+let cand_order a b =
+  match compare a.parent_rank b.parent_rank with
+  | 0 -> compare a.ord b.ord
+  | c -> c
+
+(* Run [f 0 .. f (jobs-1)] concurrently; returning is the barrier. *)
+let run_phase ~jobs f =
+  if jobs = 1 then f 0
+  else begin
+    let doms =
+      Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> f (w + 1)))
+    in
+    f 0;
+    Array.iter Domain.join doms
+  end
+
+type 'n outcome = Space of 'n table | Witness of Step.t list * 'n
+
+let search_core ~max_states ~jobs ~ops init =
+  validate_jobs jobs;
+  let t =
+    { jobs; shards = Array.init jobs (fun _ -> Hashtbl.create 256); total = 0 }
+  in
+  if max_states < 1 then raise (Explore.Too_large 0);
+  let ikey = ops.key init in
+  Hashtbl.add t.shards.(shard_key ~jobs ikey) ikey
+    { node = init; parent = None; via = None; rank = 0 };
+  t.total <- 1;
+  if ops.found init then Witness ([], init)
+  else begin
+    let frontier = ref [| (0, ikey, init) |] in
+    let witness = ref None in
+    while Option.is_none !witness && Array.length !frontier > 0 do
+      let fr = !frontier in
+      let nfr = Array.length fr in
+      let chans = Array.init jobs (fun _ -> Par_channel.create ()) in
+      (* Phase A: parallel expansion with cross-shard handoff. *)
+      run_phase ~jobs (fun w ->
+          let buckets = Array.make jobs [] in
+          let i = ref w in
+          while !i < nfr do
+            let prank, pkey, pnode = fr.(!i) in
+            List.iteri
+              (fun ord (step, node') ->
+                if ops.restrict node' then begin
+                  let ckey = ops.key node' in
+                  let s = shard_key ~jobs ckey in
+                  buckets.(s) <-
+                    {
+                      ckey;
+                      cnode = node';
+                      parent_rank = prank;
+                      parent_key = pkey;
+                      via_step = step;
+                      ord;
+                      hit = false;
+                    }
+                    :: buckets.(s)
+                end)
+              (ops.next pnode);
+            i := !i + jobs
+          done;
+          Array.iteri
+            (fun s b -> if b <> [] then Par_channel.send chans.(s) b)
+            buckets);
+      (* Phase B: per-shard dedup, sort, and goal evaluation. *)
+      let per_shard = Array.make jobs [||] in
+      run_phase ~jobs (fun j ->
+          let best = Hashtbl.create 64 in
+          List.iter
+            (List.iter (fun c ->
+                 if not (Hashtbl.mem t.shards.(j) c.ckey) then
+                   match Hashtbl.find_opt best c.ckey with
+                   | None -> Hashtbl.replace best c.ckey c
+                   | Some c0 ->
+                       if cand_order c c0 < 0 then Hashtbl.replace best c.ckey c))
+            (Par_channel.drain chans.(j));
+          let arr = Array.of_seq (Hashtbl.to_seq_values best) in
+          Array.sort cand_order arr;
+          Array.iter (fun c -> c.hit <- ops.found c.cnode) arr;
+          per_shard.(j) <- arr);
+      (* Phase C: deterministic reduction — merge the sorted shard runs in
+         sequential BFS insertion order, enforcing the cap exactly and
+         stopping at the first goal state. *)
+      let next = ref [] and nnext = ref 0 in
+      let idx = Array.make jobs 0 in
+      let stop = ref false in
+      while not !stop do
+        let bestj = ref (-1) in
+        for j = 0 to jobs - 1 do
+          if
+            idx.(j) < Array.length per_shard.(j)
+            && (!bestj < 0
+               || cand_order per_shard.(j).(idx.(j))
+                    per_shard.(!bestj).(idx.(!bestj))
+                  < 0)
+          then bestj := j
+        done;
+        if !bestj < 0 then stop := true
+        else begin
+          let j = !bestj in
+          let c = per_shard.(j).(idx.(j)) in
+          idx.(j) <- idx.(j) + 1;
+          if t.total >= max_states then raise (Explore.Too_large t.total);
+          let rank = t.total in
+          Hashtbl.add t.shards.(j) c.ckey
+            {
+              node = c.cnode;
+              parent = Some c.parent_key;
+              via = Some c.via_step;
+              rank;
+            };
+          t.total <- t.total + 1;
+          next := (rank, c.ckey, c.cnode) :: !next;
+          incr nnext;
+          if c.hit then begin
+            witness := Some (Option.get (path_to t c.ckey), c.cnode);
+            stop := true
+          end
+        end
+      done;
+      frontier :=
+        (match !witness with
+        | Some _ -> [||]
+        | None ->
+            let n = !nnext in
+            let arr = Array.make n (0, ikey, init) in
+            List.iteri (fun i x -> arr.(n - 1 - i) <- x) !next;
+            arr)
+    done;
+    match !witness with
+    | Some (steps, n) -> Witness (steps, n)
+    | None -> Space t
+  end
+
+(* ------------------------- plain state space ---------------------- *)
+
+let state_ops sys ~restrict ~found =
+  {
+    key = State.key;
+    next =
+      (fun st -> List.map (fun s -> (s, State.apply st s)) (State.enabled sys st));
+    restrict;
+    found;
+  }
+
+type space = { sys : System.t; tbl : State.t table }
+
+let explore ?(max_states = Explore.default_cap) ~jobs sys =
+  match
+    search_core ~max_states ~jobs
+      ~ops:(state_ops sys ~restrict:(fun _ -> true) ~found:(fun _ -> false))
+      (State.initial sys)
+  with
+  | Space tbl -> { sys; tbl }
+  | Witness _ -> assert false
+
+let system sp = sp.sys
+let jobs sp = sp.tbl.jobs
+let state_count sp = sp.tbl.total
+
+let states sp =
+  let arr = Array.make sp.tbl.total None in
+  Array.iter
+    (fun shard -> Hashtbl.iter (fun _ e -> arr.(e.rank) <- Some e.node) shard)
+    sp.tbl.shards;
+  Seq.map Option.get (Array.to_seq arr)
+
+let is_reachable sp st = find_entry sp.tbl (State.key st) <> None
+let schedule_to sp st = path_to sp.tbl (State.key st)
+
+let bfs ?(max_states = Explore.default_cap) ?(restrict = fun _ -> true) ~jobs
+    sys ~found =
+  match
+    search_core ~max_states ~jobs
+      ~ops:(state_ops sys ~restrict ~found)
+      (State.initial sys)
+  with
+  | Space _ -> None
+  | Witness (steps, st) -> Some (steps, st)
+
+let find_deadlock ?max_states ~jobs sys =
+  bfs ?max_states ~jobs sys ~found:(fun st -> State.is_deadlock sys st)
+
+let deadlock_free ?max_states ~jobs sys =
+  Option.is_none (find_deadlock ?max_states ~jobs sys)
+
+(* --------------------- Lemma-1 extended space ---------------------- *)
+
+let lemma1_ops sys ~report =
+  {
+    key = Explore.Lemma1.key;
+    next = (fun n -> Explore.Lemma1.next sys n);
+    restrict = (fun _ -> true);
+    found =
+      (fun n ->
+        match Explore.Lemma1.cycle sys n with
+        | None -> false
+        | Some _ -> (
+            match report with
+            | `All_cyclic -> true
+            | `Complete_cyclic -> Explore.Lemma1.complete sys n));
+  }
+
+let lemma1_search ?(max_states = Explore.default_cap) ~jobs sys ~report =
+  match
+    search_core ~max_states ~jobs ~ops:(lemma1_ops sys ~report)
+      (Explore.Lemma1.initial sys)
+  with
+  | Space _ -> None
+  | Witness (steps, n) ->
+      let cycle =
+        match Explore.Lemma1.cycle sys n with
+        | Some c -> c
+        | None -> assert false
+      in
+      Some { Explore.steps; cycle }
+
+let safe_and_deadlock_free ?max_states ~jobs sys =
+  match lemma1_search ?max_states ~jobs sys ~report:`All_cyclic with
+  | None -> Ok ()
+  | Some cex -> Error cex
+
+let safe ?max_states ~jobs sys =
+  match lemma1_search ?max_states ~jobs sys ~report:`Complete_cyclic with
+  | None -> Ok ()
+  | Some cex -> Error cex

@@ -1,0 +1,76 @@
+open Ddlock_model
+open Ddlock_schedule
+
+(** Deterministic multicore state-space exploration.
+
+    A level-synchronous parallel BFS over [jobs] worker domains: the
+    visited set is sharded by state-key hash (one lock-free hash table
+    per shard), successors crossing shards are handed over on per-shard
+    channels, and a deterministic reduction merges each level in the
+    exact sequential BFS insertion order.  Consequently every observable
+    — state counts, reachability, deadlock verdicts, the {e first}
+    witness and its schedule, and the exact [max_states] cap behaviour —
+    is bit-identical to {!Ddlock_schedule.Explore} for {e every} value
+    of [jobs], including [jobs = 1].
+
+    All functions raise [Invalid_argument] when [jobs < 1] and
+    {!Ddlock_schedule.Explore.Too_large} on budget exhaustion, with the
+    same exact-cap semantics as the sequential engine. *)
+
+(** Raises [Invalid_argument] when [jobs < 1]. *)
+val validate_jobs : int -> unit
+
+(** {1 Full state space} *)
+
+type space
+
+(** [explore ?max_states ~jobs sys] — the reachable state space, with
+    parent pointers, computed on [jobs] domains.  Same states, counts
+    and shortest schedules as {!Explore.explore}. *)
+val explore : ?max_states:int -> jobs:int -> System.t -> space
+
+val system : space -> System.t
+val jobs : space -> int
+val state_count : space -> int
+
+(** States in deterministic BFS discovery order (rank order). *)
+val states : space -> State.t Seq.t
+
+val is_reachable : space -> State.t -> bool
+
+(** A (shortest) partial schedule realizing a reachable state; identical
+    to the sequential engine's choice. *)
+val schedule_to : space -> State.t -> Step.t list option
+
+(** {1 Goal-directed search} *)
+
+(** [bfs ?max_states ?restrict ~jobs sys ~found] — first state (in BFS
+    insertion order) satisfying [found], with the schedule reaching it;
+    identical to {!Explore.bfs} output for every [jobs].  [found] and
+    [restrict] are evaluated concurrently on worker domains and must be
+    pure. *)
+val bfs :
+  ?max_states:int ->
+  ?restrict:(State.t -> bool) ->
+  jobs:int ->
+  System.t ->
+  found:(State.t -> bool) ->
+  (Step.t list * State.t) option
+
+val find_deadlock :
+  ?max_states:int -> jobs:int -> System.t -> (Step.t list * State.t) option
+
+val deadlock_free : ?max_states:int -> jobs:int -> System.t -> bool
+
+(** {1 Lemma-1 searches (safety)}
+
+    Parallel equivalents of {!Explore.safe_and_deadlock_free} and
+    {!Explore.safe}, over the same extended state space
+    ({!Explore.Lemma1}); counterexamples are identical to the sequential
+    ones. *)
+
+val safe_and_deadlock_free :
+  ?max_states:int -> jobs:int -> System.t -> (unit, Explore.counterexample) result
+
+val safe :
+  ?max_states:int -> jobs:int -> System.t -> (unit, Explore.counterexample) result

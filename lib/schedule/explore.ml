@@ -8,10 +8,17 @@ type space = { sys : System.t; table : (string, entry) Hashtbl.t }
 
 let default_cap = 2_000_000
 
+(* Exact cap: a search may hold at most [max_states] states; discovering
+   one more raises [Too_large] with the number already held.  The check
+   covers the initial state too, so the table never exceeds the budget. *)
+let check_room count max_states =
+  if count >= max_states then raise (Too_large count)
+
 let explore ?(max_states = default_cap) sys =
   let table = Hashtbl.create 1024 in
   let q = Queue.create () in
   let init = State.initial sys in
+  check_room 0 max_states;
   Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
   Queue.push init q;
   while not (Queue.is_empty q) do
@@ -22,8 +29,7 @@ let explore ?(max_states = default_cap) sys =
         let st' = State.apply st step in
         let k' = State.key st' in
         if not (Hashtbl.mem table k') then begin
-          if Hashtbl.length table >= max_states then
-            raise (Too_large (Hashtbl.length table));
+          check_room (Hashtbl.length table) max_states;
           Hashtbl.replace table k'
             { state = st'; parent = Some k; via = Some step };
           Queue.push st' q
@@ -55,6 +61,7 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
   let table = Hashtbl.create 1024 in
   let q = Queue.create () in
   let init = State.initial sys in
+  check_room 0 max_states;
   Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
   let sp = { sys; table } in
   if found init then Some (Option.get (path_to sp (State.key init)), init)
@@ -71,8 +78,7 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
              if restrict st' then begin
                let k' = State.key st' in
                if not (Hashtbl.mem table k') then begin
-                 if Hashtbl.length table >= max_states then
-                   raise (Too_large (Hashtbl.length table));
+                 check_room (Hashtbl.length table) max_states;
                  Hashtbl.replace table k'
                    { state = st'; parent = Some k; via = Some step };
                  if found st' then begin
@@ -123,26 +129,47 @@ let d_arcs_of_step sys st (step : Step.t) =
 
 let edge_graph n es = Digraph.create n (Edge_set.elements es)
 
+(* The Lemma-1 extended state: a prefix vector plus the accumulated
+   D-arcs.  Exposed so the parallel engine explores exactly the same
+   graph as [lemma1_search]. *)
+module Lemma1 = struct
+  type node = { st : State.t; es : Edge_set.t }
+
+  let initial sys = { st = State.initial sys; es = Edge_set.empty }
+  let key n = State.key n.st ^ "#" ^ edges_key n.es
+  let state n = n.st
+
+  let next sys n =
+    List.map
+      (fun step ->
+        let new_arcs = d_arcs_of_step sys n.st step in
+        let es' =
+          List.fold_left (fun acc e -> Edge_set.add e acc) n.es new_arcs
+        in
+        (step, { st = State.apply n.st step; es = es' }))
+      (State.enabled sys n.st)
+
+  let cycle sys n = Topo.find_cycle (edge_graph (System.size sys) n.es)
+  let complete sys n = State.all_finished sys n.st
+end
+
 let lemma1_search ?(max_states = default_cap) sys ~report =
   (* report: `All_cyclic  -> stop on the first cyclic-D extended state
              `Complete_cyclic -> stop on cyclic D at a complete state *)
-  let n = System.size sys in
-  let table : (string, Step.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let table : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
   let q = Queue.create () in
-  let init = State.initial sys in
-  let key st es = State.key st ^ "#" ^ edges_key es in
-  Hashtbl.replace table (key init Edge_set.empty) [];
-  Queue.push (init, Edge_set.empty, []) q;
+  let init = Lemma1.initial sys in
+  check_room 0 max_states;
+  Hashtbl.replace table (Lemma1.key init) ();
+  Queue.push (init, []) q;
   let result = ref None in
-  let check st es rev_steps =
-    let cyclic = Topo.find_cycle (edge_graph n es) in
-    match cyclic with
+  let check node rev_steps =
+    match Lemma1.cycle sys node with
     | Some cycle ->
-        let complete = State.all_finished sys st in
         let fire =
           match report with
           | `All_cyclic -> true
-          | `Complete_cyclic -> complete
+          | `Complete_cyclic -> Lemma1.complete sys node
         in
         if fire then begin
           result := Some { steps = List.rev rev_steps; cycle };
@@ -153,24 +180,18 @@ let lemma1_search ?(max_states = default_cap) sys ~report =
   in
   (try
      while not (Queue.is_empty q) do
-       let st, es, rev_steps = Queue.pop q in
+       let node, rev_steps = Queue.pop q in
        List.iter
-         (fun step ->
-           let new_arcs = d_arcs_of_step sys st step in
-           let es' =
-             List.fold_left (fun acc e -> Edge_set.add e acc) es new_arcs
-           in
-           let st' = State.apply st step in
-           let k' = key st' es' in
+         (fun (step, node') ->
+           let k' = Lemma1.key node' in
            if not (Hashtbl.mem table k') then begin
-             if Hashtbl.length table >= max_states then
-               raise (Too_large (Hashtbl.length table));
+             check_room (Hashtbl.length table) max_states;
              let rev' = step :: rev_steps in
-             Hashtbl.replace table k' [];
-             if check st' es' rev' then raise Exit;
-             Queue.push (st', es', rev') q
+             Hashtbl.replace table k' ();
+             if check node' rev' then raise Exit;
+             Queue.push (node', rev') q
            end)
-         (State.enabled sys st)
+         (Lemma1.next sys node)
      done
    with Exit -> ());
   !result

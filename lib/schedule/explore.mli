@@ -9,12 +9,19 @@ open Ddlock_model
     partial schedule and vice versa. *)
 
 exception Too_large of int
-(** Raised when exploration exceeds the [max_states] cap. *)
+(** Raised when exploration would exceed the [max_states] cap.  The cap
+    is exact: a search holds at most [max_states] states (the initial
+    state included), and discovering one more raises [Too_large n] where
+    [n] is the number of states held at that point (i.e. [max_states],
+    or [0] when the budget cannot even cover the initial state). *)
+
+val default_cap : int
+(** Default [max_states] budget (2_000_000 states). *)
 
 type space
 
 (** [explore ?max_states sys] computes the reachable state space with
-    parent pointers.  Default cap: 2_000_000 states. *)
+    parent pointers.  Default cap: {!default_cap} states. *)
 val explore : ?max_states:int -> System.t -> space
 
 val system : space -> System.t
@@ -24,6 +31,18 @@ val is_reachable : space -> State.t -> bool
 
 (** A (shortest) partial schedule realizing a reachable state. *)
 val schedule_to : space -> State.t -> Step.t list option
+
+(** {1 Goal-directed search} *)
+
+(** [bfs ?max_states ?restrict sys ~found] — first state in BFS
+    insertion order satisfying [found] (among states satisfying
+    [restrict]), with the schedule reaching it. *)
+val bfs :
+  ?max_states:int ->
+  ?restrict:(State.t -> bool) ->
+  System.t ->
+  found:(State.t -> bool) ->
+  (Step.t list * State.t) option
 
 (** {1 Deadlock (Theorem 1 ground truth)} *)
 
@@ -47,6 +66,25 @@ val safe_and_deadlock_free :
 (** Safety alone: [Error cex] when some complete schedule is not
     serializable. *)
 val safe : ?max_states:int -> System.t -> (unit, counterexample) result
+
+(** The Lemma-1 extended state (prefix vector + accumulated D-arcs),
+    exposed so the parallel engine ({!Ddlock_par.Par_explore}) explores
+    exactly the graph of the sequential Lemma-1 searches. *)
+module Lemma1 : sig
+  type node
+
+  val initial : System.t -> node
+  val key : node -> string
+  val state : node -> State.t
+
+  (** Successors in the canonical ({!State.enabled}) order. *)
+  val next : System.t -> node -> (Step.t * node) list
+
+  (** A cycle of the accumulated serialization digraph, if any. *)
+  val cycle : System.t -> node -> int list option
+
+  val complete : System.t -> node -> bool
+end
 
 (** {1 Schedules} *)
 

@@ -5,6 +5,7 @@ let () =
       ("model", Test_model.suite);
       ("schedule", Test_schedule.suite);
       ("deadlock", Test_deadlock.suite);
+      ("par", Test_par.suite);
       ("safety", Test_safety.suite);
       ("conp", Test_conp.suite);
       ("sim", Test_sim.suite);

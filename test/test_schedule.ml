@@ -120,6 +120,34 @@ let test_explore_counts () =
   let sp = Explore.explore sys in
   check int_t "8 states" 8 (Explore.state_count sp)
 
+let test_explore_exact_cap () =
+  (* The 8-state system of test_explore_counts: a budget of exactly 8
+     succeeds, 7 raises Too_large 7 (held states, not an overshoot), and
+     0 raises Too_large 0 before the initial state is inserted. *)
+  let db = Db.one_site_per_entity [ "a" ] in
+  let t = Builder.two_phase_chain db [ "a" ] in
+  let sys = System.create [ t; Builder.two_phase_chain db [ "a" ] ] in
+  check int_t "exact budget fits" 8
+    (Explore.state_count (Explore.explore ~max_states:8 sys));
+  (match Explore.explore ~max_states:7 sys with
+  | exception Explore.Too_large n -> check int_t "held at raise" 7 n
+  | _ -> Alcotest.fail "expected Too_large");
+  (match Explore.explore ~max_states:0 sys with
+  | exception Explore.Too_large n -> check int_t "no room for init" 0 n
+  | _ -> Alcotest.fail "expected Too_large 0")
+
+let test_find_deadlock_exact_cap () =
+  (* opposed_pair BFS ranks: init=0, {T1:La}=1, {T2:Lb}=2, {T1:La Lb}=3,
+     deadlock {T1:La | T2:Lb}=4 — so 5 states suffice, 4 do not. *)
+  let sys = opposed_pair () in
+  (match Explore.find_deadlock ~max_states:5 sys with
+  | Some (_, st) -> check bool_t "deadlock at the cap" true
+        (State.is_deadlock sys st)
+  | None -> Alcotest.fail "expected a deadlock within 5 states");
+  match Explore.find_deadlock ~max_states:4 sys with
+  | exception Explore.Too_large n -> check int_t "held at raise" 4 n
+  | _ -> Alcotest.fail "expected Too_large"
+
 let test_explore_schedule_to () =
   let sys = simple_pair () in
   let sp = Explore.explore sys in
@@ -339,6 +367,9 @@ let suite =
     Alcotest.test_case "dgraph interleaved cycle" `Quick
       test_dgraph_interleaved_cycle;
     Alcotest.test_case "explore counts" `Quick test_explore_counts;
+    Alcotest.test_case "explore exact cap" `Quick test_explore_exact_cap;
+    Alcotest.test_case "find_deadlock exact cap" `Quick
+      test_find_deadlock_exact_cap;
     Alcotest.test_case "explore schedule_to" `Quick test_explore_schedule_to;
     Alcotest.test_case "deadlock found" `Quick test_deadlock_found;
     Alcotest.test_case "deadlock free simple" `Quick test_deadlock_free_simple;
