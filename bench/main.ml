@@ -15,7 +15,7 @@
    Run with:  dune exec bench/main.exe                 (everything)
               dune exec bench/main.exe -- SECTION...   (a subset)
    Sections: agreement micro theorem4 exhaustive sim crossover recovery
-             faults sm geometry rw par
+             faults sm geometry rw par obs
 *)
 
 open Bechamel
@@ -595,6 +595,64 @@ let par () =
   Format.printf "  wrote BENCH_par.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: telemetry on vs off on the same search      *)
+(* ------------------------------------------------------------------ *)
+
+let obs () =
+  header "E21 observability overhead: telemetry on vs off (jobs=1)";
+  let workloads =
+    [
+      ("philosophers k=5", Workload.Gentx.dining_philosophers 5);
+      ("philosophers k=6", Workload.Gentx.dining_philosophers 6);
+      ("2 copies of 5-ring", System.copies (Workload.Gentx.guard_ring 5) 2);
+    ]
+  in
+  (* Best-of-k wall clock: the quantity of interest is the cost the
+     instrumentation adds to the hot path, so take the minimum, which
+     strips scheduler noise. *)
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let _, ms = wall_clock f in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  Format.printf "  %-22s %-12s %-12s %-10s@." "workload" "off (ms)" "on (ms)"
+    "overhead";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"obs\",\n  \"series\": [";
+  List.iteri
+    (fun i (name, sys) ->
+      let body () = ignore (Sched.Explore.explore sys) in
+      Obs.Control.off ();
+      body ();
+      (* warm-up *)
+      let off_ms = best_of 5 body in
+      Obs.Metrics.reset ();
+      Obs.Trace.clear ();
+      Obs.Control.on ();
+      let on_ms = best_of 5 body in
+      Obs.Control.off ();
+      Obs.Metrics.reset ();
+      Obs.Trace.clear ();
+      let overhead = 100.0 *. (on_ms -. off_ms) /. off_ms in
+      Format.printf "  %-22s %-12.2f %-12.2f %+.1f%%@." name off_ms on_ms
+        overhead;
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"workload\": %S, \"off_ms\": %.3f, \"on_ms\": %.3f, \
+            \"overhead_pct\": %.2f }"
+           name off_ms on_ms overhead))
+    workloads;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Read/write modes: readers-share speedup                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -647,6 +705,7 @@ let () =
       ("geometry", geometry);
       ("rw", rw_modes);
       ("par", par);
+      ("obs", obs);
     ]
   in
   let requested =

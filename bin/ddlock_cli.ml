@@ -65,6 +65,57 @@ let check_jobs jobs =
     exit 2
   end
 
+(* --------------------------- observability ------------------------- *)
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+       ~doc:"Collect telemetry during the run and print a metrics and \
+             span summary on stderr when the command finishes.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+       ~doc:"With --stats: also write the recorded spans as Chrome \
+             trace-event JSON to $(docv) (loadable in Perfetto or \
+             chrome://tracing).")
+
+(* Validate the flag combination and open the trace sink before any work
+   happens, so file errors surface as the usual one-line message with
+   exit 2.  The summary (and the trace file) are emitted from an
+   [at_exit] hook: the analysis commands exit with meaningful codes from
+   several places, and the hook covers them all. *)
+let obs_start ~stats ~trace =
+  (match (trace, stats) with
+  | Some _, false ->
+      prerr_endline "ddlock: --trace requires --stats";
+      exit 2
+  | _ -> ());
+  if stats then begin
+    let sink =
+      match trace with
+      | None -> None
+      | Some path -> (
+          match open_out_bin path with
+          | exception Sys_error msg ->
+              prerr_endline msg;
+              exit 2
+          | oc -> Some oc)
+    in
+    Obs.Metrics.reset ();
+    Obs.Trace.clear ();
+    Obs.Control.on ();
+    at_exit (fun () ->
+        Obs.Control.off ();
+        Format.eprintf "@[<v>-- stats --@,%a-- spans --@,%a@]@?"
+          Obs.Metrics.pp_summary (Obs.Metrics.snapshot ())
+          Obs.Trace.pp_summary (Obs.Trace.summary ());
+        match sink with
+        | None -> ()
+        | Some oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> Obs.Trace.write_chrome_json oc))
+  end
+
 (* ----------------------------- validate ---------------------------- *)
 
 let validate_cmd =
@@ -81,8 +132,9 @@ let validate_cmd =
 (* ----------------------------- analyze ----------------------------- *)
 
 let analyze_cmd =
-  let run file max_states jobs =
+  let run file max_states jobs stats trace =
     check_jobs jobs;
+    obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
     let report = Analysis.report ~max_states ~jobs sys in
@@ -108,7 +160,8 @@ let analyze_cmd =
        ~doc:
          "Full analysis: Theorem 3/4 safety∧deadlock-freedom plus bounded \
           exhaustive deadlock search.")
-    Term.(const run $ file_arg $ max_states_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ max_states_arg $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------- pair ------------------------------ *)
 
@@ -348,8 +401,9 @@ let repair_cmd =
 (* ----------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run file max_states jobs =
+  let run file max_states jobs stats trace =
     check_jobs jobs;
+    obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
     match Minimize.deadlock_core ~max_states ~jobs sys with
@@ -380,7 +434,8 @@ let minimize_cmd =
     (Cmd.info "minimize"
        ~doc:
          "Shrink a deadlocking system to a minimal core that still           deadlocks (drops transactions and entity accesses).")
-    Term.(const run $ file_arg $ max_states_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ max_states_arg $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------- dot ------------------------------- *)
 
@@ -464,7 +519,8 @@ let chaos_cmd =
           None
       & info [ "scheme" ] ~doc:"all | wait-die | wound-wait | detect | timeout")
   in
-  let run file runs seed intensity horizon scheme =
+  let run file runs seed intensity horizon scheme stats trace =
+    obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
     let schemes =
@@ -485,7 +541,7 @@ let chaos_cmd =
           safety/liveness invariants on every committed trace.")
     Term.(
       const run $ file_arg $ runs_arg $ seed_arg $ intensity_arg $ horizon_arg
-      $ scheme_arg)
+      $ scheme_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------ replay ----------------------------- *)
 

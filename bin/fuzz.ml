@@ -157,7 +157,24 @@ let () =
       if
         Deadlock.Prefix_search.find ~jobs:j sys = None
         <> (Deadlock.Prefix_search.find sys = None)
-      then report "par prefix search" round
+      then report "par prefix search" round;
+      (* Telemetry cross-check: both engines must report the same
+         counter totals — the parallel reduction replays the sequential
+         insertion order, so the counts are jobs-invariant. *)
+      let counters_after f =
+        Obs.Metrics.reset ();
+        ignore (f ());
+        ( Obs.Metrics.counter_value "explore.states_visited",
+          Obs.Metrics.counter_value "explore.deadlock_witnesses" )
+      in
+      Obs.Control.on ();
+      let seq_counts = counters_after (fun () -> Sched.Explore.find_deadlock sys) in
+      let par_counts =
+        counters_after (fun () -> Par.Par_explore.find_deadlock ~jobs:j sys)
+      in
+      Obs.Control.off ();
+      Obs.Metrics.reset ();
+      if seq_counts <> par_counts then report "obs counter determinism" round
     end;
     (* --- rw invariants --- *)
     let rwdb = Workload.Gentx.random_db ~sites:1 ~entities:3 in

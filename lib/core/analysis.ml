@@ -20,6 +20,7 @@ let pp_safety_verdict sys ppf = function
         (Ddlock_safety.Many.Cycle_fails w)
 
 let safe_and_deadlock_free sys =
+  Ddlock_obs.Trace.span "analysis.safety" @@ fun () ->
   match Ddlock_safety.Many.check sys with
   | Ddlock_safety.Many.Safe_and_deadlock_free -> Safe_and_deadlock_free
   | Ddlock_safety.Many.Pair_fails { i; j; failure } ->
@@ -46,6 +47,9 @@ let deadlock_free ?(max_states = 500_000) ?(jobs = 1) sys =
   match safe_and_deadlock_free sys with
   | Safe_and_deadlock_free -> Deadlock_free
   | _ -> (
+      Ddlock_obs.Trace.span "analysis.deadlock_search"
+        ~args:[ ("jobs", string_of_int jobs) ]
+      @@ fun () ->
       match
         if jobs = 1 then Explore.find_deadlock ~max_states sys
         else Ddlock_par.Par_explore.find_deadlock ~max_states ~jobs sys
@@ -67,6 +71,7 @@ type report = {
 }
 
 let report ?max_states ?jobs sys =
+  Ddlock_obs.Trace.span "analysis.report" @@ fun () ->
   let db = System.db sys in
   let g = System.interaction_graph sys in
   {

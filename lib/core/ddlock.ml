@@ -10,6 +10,7 @@
     - {!Semantics} — action nodes and Herbrand-term schedule semantics;
     - {!Sim} — the discrete-event multi-site runtime and recovery schemes;
     - {!Rw} — shared/exclusive lock modes and their runtime;
+    - {!Obs} — telemetry: metrics registry, span tracing, trace export;
     - {!Workload} — generators and the paper's figures;
     - {!Dot} — Graphviz export;
     - {!Minimize} — deadlock-witness minimization;
@@ -26,6 +27,7 @@ module Sim = Ddlock_sim
 module Workload = Ddlock_workload
 module Rw = Ddlock_rw
 module Semantics = Ddlock_semantics
+module Obs = Ddlock_obs
 module Analysis = Analysis
 module Dot = Dot
 module Minimize = Minimize

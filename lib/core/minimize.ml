@@ -7,9 +7,13 @@ type result = {
   dropped_entities : (int * Db.entity) list;
 }
 
+let obs_candidates = Ddlock_obs.Metrics.Counter.make "minimize.candidates"
+let obs_shrunk = Ddlock_obs.Metrics.Counter.make "minimize.shrink_steps"
+
 (* Conservative deadlockability: [None] means "unknown" (budget hit) and
    the candidate move is rejected. *)
 let deadlocks ?max_states ?(jobs = 1) sys =
+  Ddlock_obs.Metrics.Counter.incr obs_candidates;
   match
     if jobs = 1 then Explore.find_deadlock ?max_states sys
     else Ddlock_par.Par_explore.find_deadlock ?max_states ~jobs sys
@@ -20,6 +24,7 @@ let deadlocks ?max_states ?(jobs = 1) sys =
 
 let deadlock_core ?max_states ?(jobs = 1) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
+  Ddlock_obs.Trace.span "minimize.deadlock_core" @@ fun () ->
   match deadlocks ?max_states ~jobs sys with
   | None | Some false -> None
   | Some true ->
@@ -39,6 +44,7 @@ let deadlock_core ?max_states ?(jobs = 1) sys =
           | (i, t) :: rest ->
               let candidate = List.rev_append kept rest in
               if still_deadlocks candidate then begin
+                Ddlock_obs.Metrics.Counter.incr obs_shrunk;
                 current := candidate;
                 changed := true
               end
@@ -60,6 +66,7 @@ let deadlock_core ?max_states ?(jobs = 1) sys =
               in
               (match tried with
               | Some (x, candidate) ->
+                  Ddlock_obs.Metrics.Counter.incr obs_shrunk;
                   dropped := (i, x) :: !dropped;
                   current := candidate;
                   changed := true

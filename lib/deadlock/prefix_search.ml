@@ -6,6 +6,11 @@ type witness = {
   cycle : Step.t list;
 }
 
+module Obs_t = Ddlock_obs.Trace
+
+let obs_prefix_witnesses =
+  Ddlock_obs.Metrics.Counter.make "prefix_search.witnesses"
+
 let scan ?max_states sys =
   let sp = Explore.explore ?max_states sys in
   Seq.filter_map
@@ -20,24 +25,29 @@ let cyclic sys st = Reduction.has_cycle (Reduction.make sys st)
 
 let find ?max_states ?(jobs = 1) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
-  if jobs = 1 then
-    match scan ?max_states sys () with
-    | Seq.Nil -> None
-    | Seq.Cons ((prefix, cycle, sp), _) ->
-        let schedule = Option.get (Explore.schedule_to sp prefix) in
-        Some { prefix; schedule; cycle }
-  else
-    match
-      Ddlock_par.Par_explore.bfs ?max_states ~jobs sys ~found:(cyclic sys)
-    with
-    | None -> None
-    | Some (schedule, prefix) ->
-        let cycle =
-          match Reduction.find_cycle (Reduction.make sys prefix) with
-          | Some c -> c
-          | None -> assert false
-        in
-        Some { prefix; schedule; cycle }
+  Obs_t.span "prefix_search.find" @@ fun () ->
+  let r =
+    if jobs = 1 then
+      match scan ?max_states sys () with
+      | Seq.Nil -> None
+      | Seq.Cons ((prefix, cycle, sp), _) ->
+          let schedule = Option.get (Explore.schedule_to sp prefix) in
+          Some { prefix; schedule; cycle }
+    else
+      match
+        Ddlock_par.Par_explore.bfs ?max_states ~jobs sys ~found:(cyclic sys)
+      with
+      | None -> None
+      | Some (schedule, prefix) ->
+          let cycle =
+            match Reduction.find_cycle (Reduction.make sys prefix) with
+            | Some c -> c
+            | None -> assert false
+          in
+          Some { prefix; schedule; cycle }
+  in
+  if r <> None then Ddlock_obs.Metrics.Counter.incr obs_prefix_witnesses;
+  r
 
 let deadlock_free ?max_states ?jobs sys = find ?max_states ?jobs sys = None
 

@@ -1,0 +1,3 @@
+external now_ns : unit -> int = "obs_monotonic_ns" [@@noalloc]
+
+let ns_to_us ns = float_of_int ns /. 1_000.0

@@ -1,0 +1,12 @@
+(** Monotonic time source for span tracing.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a no-alloc C stub, so
+    readings are immune to wall-clock adjustments and cheap enough for
+    per-phase instrumentation on worker domains. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary epoch. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds to (fractional) microseconds — the unit of Chrome
+    trace-event timestamps. *)

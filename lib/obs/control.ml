@@ -1,0 +1,9 @@
+let env_default =
+  match Sys.getenv_opt "DDLOCK_OBS" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let enabled = Atomic.make env_default
+let on () = Atomic.set enabled true
+let off () = Atomic.set enabled false
+let is_on () = Atomic.get enabled

@@ -1,0 +1,17 @@
+(** Global telemetry switch.
+
+    Telemetry is {e off} by default: every instrumentation entry point
+    ({!Metrics.Counter.incr}, {!Trace.span}, …) first reads this flag and
+    returns immediately when it is clear, so the instrumented hot paths
+    cost a single load-and-branch when observability is not wanted.
+
+    The flag starts on when the [DDLOCK_OBS] environment variable is set
+    to a non-empty value other than ["0"] — this lets a whole test suite
+    or CI leg run with collection enabled without touching any caller. *)
+
+val on : unit -> unit
+val off : unit -> unit
+val is_on : unit -> bool
+
+val enabled : bool Atomic.t
+(** The raw flag, exported so hot paths can inline the check. *)

@@ -1,0 +1,9 @@
+(** Minimal JSON syntax checker (no external dependencies).
+
+    Used by the tests and the CI leg to assert that emitted trace files
+    are well-formed without pulling a JSON library into the build.
+    Accepts the full JSON grammar (objects, arrays, strings with
+    escapes, numbers, booleans, null); rejects trailing garbage. *)
+
+val validate : string -> (unit, string) result
+(** [Error msg] carries a position-annotated reason. *)

@@ -1,0 +1,208 @@
+let num_shards = 64
+let shard_mask = num_shards - 1
+let shard () = (Domain.self () :> int) land shard_mask
+
+(* Shards are independent heap-allocated atomics (not a flat array of
+   immediates), so two domains' cells land on distinct words and the
+   common no-contention case is a plain uncontended fetch-and-add. *)
+let make_cells () = Array.init num_shards (fun _ -> Atomic.make 0)
+let sum_cells cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+let zero_cells cells = Array.iter (fun c -> Atomic.set c 0) cells
+
+let on () = Atomic.get Control.enabled
+
+module Histogram_repr = struct
+  let max_bucket = 62
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else begin
+      (* floor (log2 v): position of the highest set bit. *)
+      let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+      min max_bucket (go v 0)
+    end
+
+  let bucket_lower i = 1 lsl i
+
+  type t = {
+    buckets : int Atomic.t array array;  (* shard -> bucket -> count *)
+    sums : int Atomic.t array;
+    counts : int Atomic.t array;
+  }
+
+  let create () =
+    {
+      buckets =
+        Array.init num_shards (fun _ ->
+            Array.init (max_bucket + 1) (fun _ -> Atomic.make 0));
+      sums = make_cells ();
+      counts = make_cells ();
+    }
+
+  let observe h v =
+    let s = shard () in
+    Atomic.incr h.buckets.(s).(bucket_of v);
+    ignore (Atomic.fetch_and_add h.sums.(s) v);
+    Atomic.incr h.counts.(s)
+
+  let reset h =
+    Array.iter zero_cells h.buckets;
+    zero_cells h.sums;
+    zero_cells h.counts
+end
+
+type metric =
+  | M_counter of int Atomic.t array
+  | M_gauge of int Atomic.t
+  | M_hist of Histogram_repr.t
+
+(* Registration is rare (module init time, mostly) but may in principle
+   race with a snapshot from another domain, so the registry is locked.
+   The hot recording paths never touch the registry. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let register name mk cast =
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = mk () in
+        Hashtbl.replace registry name m;
+        m
+  in
+  Mutex.unlock registry_lock;
+  cast name m
+
+module Counter = struct
+  type t = int Atomic.t array
+
+  let make name =
+    register name
+      (fun () -> M_counter (make_cells ()))
+      (fun name -> function
+        | M_counter c -> c
+        | _ -> invalid_arg ("Obs.Counter.make: " ^ name ^ " is not a counter"))
+
+  let add c n = if on () then ignore (Atomic.fetch_and_add c.(shard ()) n)
+  let incr c = add c 1
+  let value c = sum_cells c
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let make name =
+    register name
+      (fun () -> M_gauge (Atomic.make 0))
+      (fun name -> function
+        | M_gauge g -> g
+        | _ -> invalid_arg ("Obs.Gauge.make: " ^ name ^ " is not a gauge"))
+
+  let set g v = if on () then Atomic.set g v
+
+  let set_max g v =
+    if on () then begin
+      let rec loop () =
+        let cur = Atomic.get g in
+        if v > cur && not (Atomic.compare_and_set g cur v) then loop ()
+      in
+      loop ()
+    end
+
+  let value g = Atomic.get g
+end
+
+module Histogram = struct
+  type t = Histogram_repr.t
+
+  let make name =
+    register name
+      (fun () -> M_hist (Histogram_repr.create ()))
+      (fun name -> function
+        | M_hist h -> h
+        | _ ->
+            invalid_arg ("Obs.Histogram.make: " ^ name ^ " is not a histogram"))
+
+  let observe h v = if on () then Histogram_repr.observe h v
+  let bucket_of = Histogram_repr.bucket_of
+  let bucket_lower = Histogram_repr.bucket_lower
+  let max_bucket = Histogram_repr.max_bucket
+end
+
+type hist = { count : int; sum : int; buckets : (int * int) list }
+type value = Counter of int | Gauge of int | Hist of hist
+
+let merge_hist (h : Histogram_repr.t) =
+  let buckets = ref [] in
+  for i = Histogram_repr.max_bucket downto 0 do
+    let n =
+      Array.fold_left (fun acc sh -> acc + Atomic.get sh.(i)) 0 h.buckets
+    in
+    if n > 0 then buckets := (i, n) :: !buckets
+  done;
+  {
+    count = sum_cells h.Histogram_repr.counts;
+    sum = sum_cells h.Histogram_repr.sums;
+    buckets = !buckets;
+  }
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map
+       (fun (name, m) ->
+         ( name,
+           match m with
+           | M_counter c -> Counter (sum_cells c)
+           | M_gauge g -> Gauge (Atomic.get g)
+           | M_hist h -> Hist (merge_hist h) ))
+       all)
+
+let counter_value name =
+  Mutex.lock registry_lock;
+  let m = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_lock;
+  match m with Some (M_counter c) -> sum_cells c | _ -> 0
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ -> function
+      | M_counter c -> zero_cells c
+      | M_gauge g -> Atomic.set g 0
+      | M_hist h -> Histogram_repr.reset h)
+    registry;
+  Mutex.unlock registry_lock
+
+let pp_summary ppf snap =
+  let nonzero = function
+    | _, Counter 0 | _, Gauge 0 -> false
+    | _, Hist { count = 0; _ } -> false
+    | _ -> true
+  in
+  let snap = List.filter nonzero snap in
+  if snap = [] then Format.fprintf ppf "  (no metrics recorded)@,"
+  else
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter n -> Format.fprintf ppf "  %-38s %d@," name n
+        | Gauge n -> Format.fprintf ppf "  %-38s %d (gauge)@," name n
+        | Hist h ->
+            Format.fprintf ppf "  %-38s count=%d mean=%.1f@," name h.count
+              (float_of_int h.sum /. float_of_int (max 1 h.count));
+            List.iter
+              (fun (i, n) ->
+                if i = 0 then Format.fprintf ppf "    %-36s %d@," "<= 1" n
+                else
+                  Format.fprintf ppf "    %-36s %d@,"
+                    (Printf.sprintf "[%d, %d)" (Histogram.bucket_lower i)
+                       (2 * Histogram.bucket_lower i))
+                    n)
+              h.buckets)
+      snap

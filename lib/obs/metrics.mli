@@ -1,0 +1,82 @@
+(** Metrics registry: counters, gauges and log2-bucketed histograms.
+
+    Counter and histogram cells are sharded by domain id, so concurrent
+    increments from {!Ddlock_par.Par_explore} worker domains land on
+    different atomics and never contend on the common path; a snapshot
+    merges the shards (addition — associative and commutative, so the
+    merged totals are independent of domain scheduling).
+
+    Every recording operation is a no-op while {!Control.is_on} is false.
+    Metric {e registration} ([make]) is independent of the switch and
+    idempotent: making the same name twice returns the same metric. *)
+
+val num_shards : int
+(** Number of per-domain shards (a power of two; domain ids are folded
+    onto shards by masking). *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Merged total over all shards (reads are not atomic across shards;
+      exact once concurrent writers are quiescent). *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> int -> unit
+
+  val set_max : t -> int -> unit
+  (** Raise the gauge to [v] if [v] is larger (CAS loop). *)
+
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+
+  val observe : t -> int -> unit
+  (** Record one sample.  Samples [v <= 1] land in bucket 0; otherwise
+      the bucket index is [floor (log2 v)], i.e. bucket [i >= 1] covers
+      [2^i <= v < 2^(i+1)]. *)
+
+  val bucket_of : int -> int
+  (** The bucket index a sample lands in (exposed for tests). *)
+
+  val bucket_lower : int -> int
+  (** Inclusive lower bound of bucket [i] ([1] for bucket 0). *)
+
+  val max_bucket : int
+  (** Largest bucket index; samples beyond [2^max_bucket] are clamped. *)
+end
+
+(** {1 Snapshots} *)
+
+type hist = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;  (** (bucket index, count), non-empty buckets only, ascending *)
+}
+
+type value = Counter of int | Gauge of int | Hist of hist
+
+val snapshot : unit -> (string * value) list
+(** All registered metrics with merged values, sorted by name — the
+    deterministic order makes snapshots directly comparable. *)
+
+val counter_value : string -> int
+(** Merged value of a registered counter, [0] when absent. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val pp_summary : Format.formatter -> (string * value) list -> unit
+(** Plain-text rendering of a snapshot (skips zero-valued metrics). *)

@@ -1,0 +1,134 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* Spans are per-phase and per-level, not per-state, so one global lock
+   is fine; per-domain buffers would need collision handling anyway
+   (domain ids grow without bound across the level-spawned workers). *)
+let buf : event list ref = ref []
+let lock = Mutex.create ()
+let epoch = Clock.now_ns ()
+
+let record ev =
+  Mutex.lock lock;
+  buf := ev :: !buf;
+  Mutex.unlock lock
+
+let span ?(cat = "ddlock") ?(args = []) name f =
+  if not (Control.is_on ()) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        record
+          {
+            name;
+            cat;
+            ts_ns = t0 - epoch;
+            dur_ns = t1 - t0;
+            tid = (Domain.self () :> int);
+            args;
+          })
+      f
+  end
+
+let instant ?(cat = "ddlock") ?(args = []) name =
+  if Control.is_on () then
+    record
+      {
+        name;
+        cat;
+        ts_ns = Clock.now_ns () - epoch;
+        dur_ns = -1;
+        tid = (Domain.self () :> int);
+        args;
+      }
+
+let events () =
+  Mutex.lock lock;
+  let evs = !buf in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare (a.ts_ns, a.dur_ns) (b.ts_ns, b.dur_ns)) evs
+
+let clear () =
+  Mutex.lock lock;
+  buf := [];
+  Mutex.unlock lock
+
+(* ----------------------- Chrome trace JSON ------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_event b ev =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+       (escape ev.name) (escape ev.cat)
+       (if ev.dur_ns < 0 then "i" else "X")
+       ev.tid
+       (Clock.ns_to_us ev.ts_ns));
+  if ev.dur_ns >= 0 then
+    Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" (Clock.ns_to_us ev.dur_ns))
+  else Buffer.add_string b ",\"s\":\"t\"";
+  (match ev.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        args;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let write_chrome_json oc =
+  let evs = events () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      emit_event b ev)
+    evs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  output_string oc (Buffer.contents b)
+
+let summary () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let n, ms = try Hashtbl.find tbl ev.name with Not_found -> (0, 0.0) in
+      Hashtbl.replace tbl ev.name
+        (n + 1, ms +. (float_of_int (max 0 ev.dur_ns) /. 1e6)))
+    (events ());
+  List.sort compare
+    (Hashtbl.fold (fun name (n, ms) acc -> (name, n, ms) :: acc) tbl [])
+
+let pp_summary ppf rows =
+  if rows = [] then Format.fprintf ppf "  (no spans recorded)@,"
+  else
+    List.iter
+      (fun (name, n, ms) ->
+        Format.fprintf ppf "  %-38s x%-6d %.2f ms@," name n ms)
+      rows

@@ -1,0 +1,46 @@
+(** Monotonic-clock span tracing with Chrome trace-event output.
+
+    A span is a named interval measured on the {!Clock} monotonic clock
+    and tagged with the recording domain's id, so spans from
+    {!Ddlock_par.Par_explore} worker domains land on separate tracks when
+    the JSON is loaded in Perfetto / [chrome://tracing].
+
+    Recording is a no-op while {!Control.is_on} is false ([span] then
+    just runs its body).  Span completion grabs one global lock; spans
+    are per-phase / per-level, never per-state, so the lock is cold. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;  (** start, monotonic ns *)
+  dur_ns : int;  (** [-1] for instant events *)
+  tid : int;  (** recording domain id *)
+  args : (string * string) list;
+}
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()], recording a completed-duration event
+    around it.  The event is recorded even when [f] raises (the
+    exploration engines escape via [Too_large] and [Exit]). *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val events : unit -> event list
+(** Recorded events in chronological (start-time) order. *)
+
+val clear : unit -> unit
+
+(** {1 Output} *)
+
+val write_chrome_json : out_channel -> unit
+(** Emit all recorded events as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}], complete ["ph":"X"] events with
+    microsecond timestamps) — loadable in Perfetto and
+    [chrome://tracing]. *)
+
+val summary : unit -> (string * int * float) list
+(** Per-span-name totals: (name, occurrences, total milliseconds),
+    sorted by name.  Instant events count with zero duration. *)
+
+val pp_summary : Format.formatter -> (string * int * float) list -> unit

@@ -32,6 +32,26 @@ let validate_jobs jobs =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "jobs must be >= 1 (got %d)" jobs)
 
+(* Telemetry.  [explore.states_visited] is shared with the sequential
+   engine and incremented in the deterministic reduction (phase C), which
+   replays the sequential insertion sequence — so the total is invariant
+   under [jobs] by construction.  The [par.*] metrics describe the
+   parallel machinery itself (levels, handoffs, imbalance) and naturally
+   depend on [jobs]. *)
+module Obs = struct
+  module T = Ddlock_obs.Trace
+  module M = Ddlock_obs.Metrics
+
+  let states_visited = M.Counter.make "explore.states_visited"
+  let deadlock_witnesses = M.Counter.make "explore.deadlock_witnesses"
+  let searches = M.Counter.make "explore.searches"
+  let levels = M.Counter.make "par.levels"
+  let handoffs = M.Counter.make "par.handoffs"
+  let frontier = M.Histogram.make "par.frontier_states"
+  let imbalance = M.Histogram.make "par.shard_imbalance"
+  let frontier_peak = M.Gauge.make "par.frontier_peak"
+end
+
 (* A search instance over an abstract node type: the plain state space
    and the Lemma-1 extended space both instantiate this. *)
 type 'n ops = {
@@ -97,6 +117,8 @@ type 'n outcome = Space of 'n table | Witness of Step.t list * 'n
 
 let search_core ~max_states ~jobs ~ops init =
   validate_jobs jobs;
+  Ddlock_obs.Metrics.Counter.incr Obs.searches;
+  Obs.T.span "par.search" ~args:[ ("jobs", string_of_int jobs) ] @@ fun () ->
   let t =
     { jobs; shards = Array.init jobs (fun _ -> Hashtbl.create 256); total = 0 }
   in
@@ -105,16 +127,28 @@ let search_core ~max_states ~jobs ~ops init =
   Hashtbl.add t.shards.(shard_key ~jobs ikey) ikey
     { node = init; parent = None; via = None; rank = 0 };
   t.total <- 1;
+  Obs.M.Counter.incr Obs.states_visited;
   if ops.found init then Witness ([], init)
   else begin
     let frontier = ref [| (0, ikey, init) |] in
     let witness = ref None in
+    let level = ref 0 in
     while Option.is_none !witness && Array.length !frontier > 0 do
       let fr = !frontier in
       let nfr = Array.length fr in
+      Obs.M.Counter.incr Obs.levels;
+      Obs.M.Histogram.observe Obs.frontier nfr;
+      Obs.M.Gauge.set_max Obs.frontier_peak nfr;
+      let level_arg =
+        if Ddlock_obs.Control.is_on () then
+          [ ("level", string_of_int !level); ("frontier", string_of_int nfr) ]
+        else []
+      in
+      incr level;
       let chans = Array.init jobs (fun _ -> Par_channel.create ()) in
       (* Phase A: parallel expansion with cross-shard handoff. *)
       run_phase ~jobs (fun w ->
+          Obs.T.span "par.expand" ~args:level_arg @@ fun () ->
           let buckets = Array.make jobs [] in
           let i = ref w in
           while !i < nfr do
@@ -140,11 +174,16 @@ let search_core ~max_states ~jobs ~ops init =
             i := !i + jobs
           done;
           Array.iteri
-            (fun s b -> if b <> [] then Par_channel.send chans.(s) b)
+            (fun s b ->
+              if b <> [] then begin
+                Obs.M.Counter.add Obs.handoffs (List.length b);
+                Par_channel.send chans.(s) b
+              end)
             buckets);
       (* Phase B: per-shard dedup, sort, and goal evaluation. *)
       let per_shard = Array.make jobs [||] in
       run_phase ~jobs (fun j ->
+          Obs.T.span "par.dedup" ~args:level_arg @@ fun () ->
           let best = Hashtbl.create 64 in
           List.iter
             (List.iter (fun c ->
@@ -158,9 +197,19 @@ let search_core ~max_states ~jobs ~ops init =
           Array.sort cand_order arr;
           Array.iter (fun c -> c.hit <- ops.found c.cnode) arr;
           per_shard.(j) <- arr);
+      (if Ddlock_obs.Control.is_on () then
+         let mx = ref 0 and mn = ref max_int in
+         Array.iter
+           (fun a ->
+             let n = Array.length a in
+             if n > !mx then mx := n;
+             if n < !mn then mn := n)
+           per_shard;
+         Obs.M.Histogram.observe Obs.imbalance (max 0 (!mx - !mn)));
       (* Phase C: deterministic reduction — merge the sorted shard runs in
          sequential BFS insertion order, enforcing the cap exactly and
          stopping at the first goal state. *)
+      Obs.T.span "par.reduce" ~args:level_arg @@ fun () ->
       let next = ref [] and nnext = ref 0 in
       let idx = Array.make jobs 0 in
       let stop = ref false in
@@ -190,6 +239,7 @@ let search_core ~max_states ~jobs ~ops init =
               rank;
             };
           t.total <- t.total + 1;
+          Obs.M.Counter.incr Obs.states_visited;
           next := (rank, c.ckey, c.cnode) :: !next;
           incr nnext;
           if c.hit then begin
@@ -259,7 +309,12 @@ let bfs ?(max_states = Explore.default_cap) ?(restrict = fun _ -> true) ~jobs
   | Witness (steps, st) -> Some (steps, st)
 
 let find_deadlock ?max_states ~jobs sys =
-  bfs ?max_states ~jobs sys ~found:(fun st -> State.is_deadlock sys st)
+  let r = bfs ?max_states ~jobs sys ~found:(fun st -> State.is_deadlock sys st) in
+  if r <> None then begin
+    Obs.M.Counter.incr Obs.deadlock_witnesses;
+    Obs.T.instant "explore.deadlock_witness"
+  end;
+  r
 
 let deadlock_free ?max_states ~jobs sys =
   Option.is_none (find_deadlock ?max_states ~jobs sys)

@@ -3,6 +3,22 @@ open Ddlock_model
 
 exception Too_large of int
 
+(* Telemetry: both exploration engines increment the same counters at
+   state-insertion time, so totals are invariant under [jobs] (the
+   parallel reduction replays the sequential insertion sequence).  All
+   recording is a no-op unless Ddlock_obs.Control is switched on. *)
+module Obs = struct
+  module T = Ddlock_obs.Trace
+
+  let states_visited = Ddlock_obs.Metrics.Counter.make "explore.states_visited"
+
+  let deadlock_witnesses =
+    Ddlock_obs.Metrics.Counter.make "explore.deadlock_witnesses"
+
+  let searches = Ddlock_obs.Metrics.Counter.make "explore.searches"
+  let visit () = Ddlock_obs.Metrics.Counter.incr states_visited
+end
+
 type entry = { state : State.t; parent : string option; via : Step.t option }
 type space = { sys : System.t; table : (string, entry) Hashtbl.t }
 
@@ -15,11 +31,14 @@ let check_room count max_states =
   if count >= max_states then raise (Too_large count)
 
 let explore ?(max_states = default_cap) sys =
+  Ddlock_obs.Metrics.Counter.incr Obs.searches;
+  Obs.T.span "explore.explore" @@ fun () ->
   let table = Hashtbl.create 1024 in
   let q = Queue.create () in
   let init = State.initial sys in
   check_room 0 max_states;
   Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
+  Obs.visit ();
   Queue.push init q;
   while not (Queue.is_empty q) do
     let st = Queue.pop q in
@@ -32,6 +51,7 @@ let explore ?(max_states = default_cap) sys =
           check_room (Hashtbl.length table) max_states;
           Hashtbl.replace table k'
             { state = st'; parent = Some k; via = Some step };
+          Obs.visit ();
           Queue.push st' q
         end)
       (State.enabled sys st)
@@ -58,11 +78,14 @@ let schedule_to sp st = path_to sp (State.key st)
 (* Breadth-first search with a found predicate, shared by the deadlock and
    targeted searches. *)
 let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
+  Ddlock_obs.Metrics.Counter.incr Obs.searches;
+  Obs.T.span "explore.bfs" @@ fun () ->
   let table = Hashtbl.create 1024 in
   let q = Queue.create () in
   let init = State.initial sys in
   check_room 0 max_states;
   Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
+  Obs.visit ();
   let sp = { sys; table } in
   if found init then Some (Option.get (path_to sp (State.key init)), init)
   else begin
@@ -81,6 +104,7 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
                  check_room (Hashtbl.length table) max_states;
                  Hashtbl.replace table k'
                    { state = st'; parent = Some k; via = Some step };
+                 Obs.visit ();
                  if found st' then begin
                    result := Some (Option.get (path_to sp k'), st');
                    raise Exit
@@ -95,7 +119,12 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
   end
 
 let find_deadlock ?max_states sys =
-  bfs ?max_states sys ~found:(fun st -> State.is_deadlock sys st)
+  let r = bfs ?max_states sys ~found:(fun st -> State.is_deadlock sys st) in
+  if r <> None then begin
+    Ddlock_obs.Metrics.Counter.incr Obs.deadlock_witnesses;
+    Obs.T.instant "explore.deadlock_witness"
+  end;
+  r
 
 let deadlock_free ?max_states sys = find_deadlock ?max_states sys = None
 
@@ -156,11 +185,14 @@ end
 let lemma1_search ?(max_states = default_cap) sys ~report =
   (* report: `All_cyclic  -> stop on the first cyclic-D extended state
              `Complete_cyclic -> stop on cyclic D at a complete state *)
+  Ddlock_obs.Metrics.Counter.incr Obs.searches;
+  Obs.T.span "explore.lemma1_search" @@ fun () ->
   let table : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
   let q = Queue.create () in
   let init = Lemma1.initial sys in
   check_room 0 max_states;
   Hashtbl.replace table (Lemma1.key init) ();
+  Obs.visit ();
   Queue.push (init, []) q;
   let result = ref None in
   let check node rev_steps =
@@ -188,6 +220,7 @@ let lemma1_search ?(max_states = default_cap) sys ~report =
              check_room (Hashtbl.length table) max_states;
              let rev' = step :: rev_steps in
              Hashtbl.replace table k' ();
+             Obs.visit ();
              if check node' rev' then raise Exit;
              Queue.push (node', rev') q
            end)

@@ -110,8 +110,14 @@ type report = {
   violations : (int * string * violation) list;
 }
 
+let obs_runs = Ddlock_obs.Metrics.Counter.make "chaos.runs"
+let obs_violations = Ddlock_obs.Metrics.Counter.make "chaos.violations"
+
 let sweep ~seeds ~schemes ~cases ?(intensity = 0.8) ?(horizon = 40.0) ?config
     base_seed =
+  Ddlock_obs.Trace.span "chaos.sweep"
+    ~args:[ ("seeds", string_of_int seeds) ]
+  @@ fun () ->
   let runs = ref 0 and clean = ref 0 in
   let aborts = ref 0 and max_single = ref 0 in
   let total_makespan = ref 0.0 and completed = ref 0 in
@@ -131,18 +137,22 @@ let sweep ~seeds ~schemes ~cases ?(intensity = 0.8) ?(horizon = 40.0) ?config
         let rt_rng = Random.State.make [| base_seed; seed; ci; 0x51 |] in
         let rt = Runtime.run ~faults:plan rt_rng case.system in
         incr runs;
+        Ddlock_obs.Metrics.Counter.incr obs_runs;
         if
           Schedule.is_legal case.system (Runtime.schedule_of_run rt)
           && double_grant case.system (Runtime.schedule_of_run rt) = None
         then incr clean
-        else
+        else begin
+          Ddlock_obs.Metrics.Counter.incr obs_violations;
           violations :=
-            (seed, case.label ^ "/runtime", Illegal_trace) :: !violations;
+            (seed, case.label ^ "/runtime", Illegal_trace) :: !violations
+        end;
         List.iteri
           (fun si (sname, scheme) ->
             let rng = Random.State.make [| base_seed; seed; ci; si; 0xc4 |] in
             let vs, r = run_case ~scheme ~faults:plan ?config rng case.system in
             incr runs;
+            Ddlock_obs.Metrics.Counter.incr obs_runs;
             aborts := !aborts + r.Recovery.stats.Recovery.aborts;
             Array.iter
               (fun a -> if a > !max_single then max_single := a)
@@ -157,6 +167,7 @@ let sweep ~seeds ~schemes ~cases ?(intensity = 0.8) ?(horizon = 40.0) ?config
             | vs ->
                 List.iter
                   (fun v ->
+                    Ddlock_obs.Metrics.Counter.incr obs_violations;
                     violations :=
                       (seed, case.label ^ "/" ^ sname, v) :: !violations)
                   vs)

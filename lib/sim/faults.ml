@@ -69,6 +69,13 @@ type t = { plan : plan; rng : Random.State.t }
 let injector plan = { plan; rng = Random.State.make [| plan.seed; 0xfa17 |] }
 let plan t = t.plan
 
+(* Fault-event telemetry: one counter per injection kind, incremented at
+   the moment the injector decides to perturb a delivery. *)
+let obs_lost = Ddlock_obs.Metrics.Counter.make "sim.faults.lost_messages"
+let obs_dup = Ddlock_obs.Metrics.Counter.make "sim.faults.duplicated_requests"
+let obs_crash_delay = Ddlock_obs.Metrics.Counter.make "sim.faults.crash_delays"
+let obs_stall_delay = Ddlock_obs.Metrics.Counter.make "sim.faults.stall_delays"
+
 (* Earliest time >= now outside every [ws] window of [site]; windows may
    overlap, so iterate to a fixpoint. *)
 let rec past_windows ws ~site ~now =
@@ -88,13 +95,24 @@ let deliver t ~site ~now ~transit =
      and retransmitted after [p.retransmit]. *)
   let rec settle at =
     if p.loss > 0.0 && at < p.horizon && Random.State.float t.rng 1.0 < p.loss
-    then settle (at +. p.retransmit)
+    then begin
+      Ddlock_obs.Metrics.Counter.incr obs_lost;
+      settle (at +. p.retransmit)
+    end
     else at
   in
   let arrival = settle now +. transit in
-  let arrival = past_windows p.crashes ~site ~now:arrival in
-  past_windows p.stalls ~site ~now:arrival
+  let crash_free = past_windows p.crashes ~site ~now:arrival in
+  if crash_free > arrival then Ddlock_obs.Metrics.Counter.incr obs_crash_delay;
+  let stall_free = past_windows p.stalls ~site ~now:crash_free in
+  if stall_free > crash_free then
+    Ddlock_obs.Metrics.Counter.incr obs_stall_delay;
+  stall_free
 
 let duplicated t ~now =
   let p = t.plan in
-  p.dup > 0.0 && now < p.horizon && Random.State.float t.rng 1.0 < p.dup
+  let dup =
+    p.dup > 0.0 && now < p.horizon && Random.State.float t.rng 1.0 < p.dup
+  in
+  if dup then Ddlock_obs.Metrics.Counter.incr obs_dup;
+  dup

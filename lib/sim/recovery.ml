@@ -42,10 +42,19 @@ type event =
   | Crash of Db.site  (** site goes down and drops its lock tables *)
   | Deadline of Step.t * int  (** lock-wait timeout check *)
 
+(* Waiters carry (step, incarnation, enqueue time); the time feeds the
+   shared lock wait-time histogram and survives the re-queue that happens
+   when a grant replays the remaining waiters against a new holder. *)
 type lock_state = {
   mutable holder : int option;
-  waiters : (Step.t * int) Queue.t;
+  waiters : (Step.t * int * float) Queue.t;
 }
+
+let obs_aborts = Ddlock_obs.Metrics.Counter.make "sim.aborts"
+let obs_retries = Ddlock_obs.Metrics.Counter.make "sim.retries"
+let obs_lock_timeouts = Ddlock_obs.Metrics.Counter.make "sim.lock_timeouts"
+let obs_commits = Ddlock_obs.Metrics.Counter.make "sim.commits"
+let obs_crashes = Ddlock_obs.Metrics.Counter.make "sim.site_crashes"
 
 let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
   let n = System.size sys in
@@ -159,15 +168,16 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
     let rec pop_valid () =
       match Queue.take_opt l.waiters with
       | None -> None
-      | Some ((w, winc) : Step.t * int) ->
+      | Some ((w, winc, since) : Step.t * int * float) ->
           if winc = incarnation.(w.Step.txn) && not committed.(w.Step.txn)
-          then Some (w, winc)
+          then Some (w, winc, since)
           else pop_valid ()
     in
     if l.holder = None then
       match pop_valid () with
       | None -> ()
-      | Some (w, winc) ->
+      | Some (w, winc, since) ->
+          Runtime.obs_wait ~since ~now:!now;
           l.holder <- Some w.Step.txn;
           push_grant w winc e;
           let rest = ref [] in
@@ -180,18 +190,20 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
           in
           drain ();
           List.iter
-            (fun (w', winc') ->
+            (fun (w', winc', since') ->
               if winc' = incarnation.(w'.Step.txn) then
                 match l.holder with
-                | Some h -> on_lock_conflict w' winc' h
+                | Some h -> on_lock_conflict w' winc' ~since:since' h
                 | None ->
                     (* the scheme aborted the holder meanwhile *)
+                    Runtime.obs_wait ~since:since' ~now:!now;
                     l.holder <- Some w'.Step.txn;
                     push_grant w' winc' e)
             (List.rev !rest)
 
   and abort j =
     incr aborts;
+    Ddlock_obs.Metrics.Counter.incr obs_aborts;
     aborts_by_txn.(j) <- aborts_by_txn.(j) + 1;
     incarnation.(j) <- incarnation.(j) + 1;
     executed.(j) <- Transaction.empty_prefix (System.txn sys j);
@@ -209,17 +221,18 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
       (!now +. config.restart_delay +. restart_backoff j)
       (Restart (j, incarnation.(j)))
 
-  and on_lock_conflict (step : Step.t) inc holder =
+  and on_lock_conflict (step : Step.t) inc ?(since = Float.nan) holder =
+    let since = if Float.is_nan since then !now else since in
     let r = step.Step.txn in
     match scheme with
-    | Detect _ -> Queue.push (step, inc) locks.(entity_of step).waiters
+    | Detect _ -> Queue.push (step, inc, since) locks.(entity_of step).waiters
     | Timeout { base; cap; max_retries } ->
-        Queue.push (step, inc) locks.(entity_of step).waiters;
+        Queue.push (step, inc, since) locks.(entity_of step).waiters;
         let w = jittered (backoff_window base cap max_retries r) in
         Pqueue.push events (!now +. w) (Deadline (step, inc))
     | Wait_die ->
         if ts r < ts holder then
-          Queue.push (step, inc) locks.(entity_of step).waiters
+          Queue.push (step, inc, since) locks.(entity_of step).waiters
         else abort r (* younger requester dies *)
     | Wound_wait ->
         if ts r < ts holder then begin
@@ -232,22 +245,23 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
           | None ->
               l.holder <- Some r;
               push_grant step inc (entity_of step)
-          | Some _ -> Queue.push (step, inc) l.waiters
+          | Some _ -> Queue.push (step, inc, since) l.waiters
         end
-        else Queue.push (step, inc) locks.(entity_of step).waiters
+        else Queue.push (step, inc, since) locks.(entity_of step).waiters
   in
   (* A site crash drops its lock tables: holders of its entities abort
      (their in-flight grants die with the incarnation bump) and queued
      waiters are lost — still-valid ones retransmit their requests, which
      the fault layer defers past the crash window. *)
   let on_crash s =
+    Ddlock_obs.Metrics.Counter.incr obs_crashes;
     for e = 0 to ne - 1 do
       if Db.site_of db e = s then begin
         let l = locks.(e) in
         let rec drop () =
           match Queue.take_opt l.waiters with
           | None -> ()
-          | Some ((w, winc) : Step.t * int) ->
+          | Some ((w, winc, _) : Step.t * int * float) ->
               if winc = incarnation.(w.Step.txn) && not committed.(w.Step.txn)
               then begin
                 Bitset.clear arrived.(w.Step.txn) w.Step.node;
@@ -274,7 +288,7 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
         | None -> ()
         | Some h ->
             Queue.iter
-              (fun ((w, winc) : Step.t * int) ->
+              (fun ((w, winc, _) : Step.t * int * float) ->
                 if winc = incarnation.(w.Step.txn) then
                   arcs := (w.Step.txn, h) :: !arcs)
               l.waiters)
@@ -300,7 +314,10 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
           now := t;
           (match ev with
           | Restart (j, inc) ->
-              if inc = incarnation.(j) && not committed.(j) then start_ready j
+              if inc = incarnation.(j) && not committed.(j) then begin
+                Ddlock_obs.Metrics.Counter.incr obs_retries;
+                start_ready j
+              end
           | Crash s -> on_crash s
           | Deadline (step, inc) ->
               (* Still waiting (not granted, not executed) in the same
@@ -313,6 +330,7 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
                 && locks.(entity_of step).holder <> Some j
               then begin
                 attempts.(j) <- attempts.(j) + 1;
+                Ddlock_obs.Metrics.Counter.incr obs_lock_timeouts;
                 abort j
               end
           | Tick ->
@@ -358,6 +376,7 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
                 then begin
                   committed.(step.txn) <- true;
                   incr commits;
+                  Ddlock_obs.Metrics.Counter.incr obs_commits;
                   makespan := !now
                 end
                 else start_ready step.txn

@@ -24,7 +24,23 @@ type outcome =
 
 type run = { outcome : outcome; trace : trace_entry list }
 
-type lock_state = { mutable holder : int option; waiters : Step.t Queue.t }
+(* Waiters carry their enqueue time so the grant path can record the
+   lock wait-time histogram. *)
+type lock_state = {
+  mutable holder : int option;
+  waiters : (Step.t * float) Queue.t;
+}
+
+let obs_lock_wait = Ddlock_obs.Metrics.Histogram.make "sim.lock_wait_us"
+let obs_queue_depth = Ddlock_obs.Metrics.Histogram.make "sim.queue_depth"
+let obs_runs = Ddlock_obs.Metrics.Counter.make "sim.runs"
+let obs_deadlocks = Ddlock_obs.Metrics.Counter.make "sim.deadlock_runs"
+
+(* Sim time is abstract (float); wait times are recorded in micro-units
+   so the log2 buckets resolve sub-unit waits. *)
+let obs_wait ~since ~now =
+  Ddlock_obs.Metrics.Histogram.observe obs_lock_wait
+    (int_of_float ((now -. since) *. 1e6))
 
 (* A Lock step first travels to the lock manager (Arrive), then, once
    granted, executes (Complete).  Unlocks only have a Complete phase. *)
@@ -124,7 +140,10 @@ let run ?(config = default_config) ?(faults = Faults.none) rng sys =
           | None ->
               l.holder <- Some step.Step.txn;
               grant_delivery step (entity_of step)
-          | Some _ -> Queue.push step l.waiters
+          | Some _ ->
+              Queue.push (step, t) l.waiters;
+              Ddlock_obs.Metrics.Histogram.observe obs_queue_depth
+                (Queue.length l.waiters)
         end;
         loop ()
     | Some (t, Complete step) ->
@@ -139,7 +158,8 @@ let run ?(config = default_config) ?(faults = Faults.none) rng sys =
             l.holder <- None;
             (match Queue.take_opt l.waiters with
             | None -> ()
-            | Some w ->
+            | Some (w, since) ->
+                obs_wait ~since ~now:!now;
                 l.holder <- Some w.Step.txn;
                 grant_delivery w nd.entity)
         | Node.Lock -> ());
@@ -147,6 +167,7 @@ let run ?(config = default_config) ?(faults = Faults.none) rng sys =
         loop ()
   in
   loop ();
+  Ddlock_obs.Metrics.Counter.incr obs_runs;
   let trace = List.rev !trace in
   let outcome =
     if finished () then Finished { makespan = !now }
@@ -157,12 +178,14 @@ let run ?(config = default_config) ?(faults = Faults.none) rng sys =
           match l.holder with
           | Some h ->
               Queue.iter
-                (fun (w : Step.t) -> waits_for := (w.txn, e, h) :: !waits_for)
+                (fun ((w : Step.t), _) ->
+                  waits_for := (w.txn, e, h) :: !waits_for)
                 l.waiters
           | None -> ())
         locks;
       let g = Digraph.create n (List.map (fun (w, _, h) -> (w, h)) !waits_for) in
       let cycle = Option.value ~default:[] (Topo.find_cycle g) in
+      Ddlock_obs.Metrics.Counter.incr obs_deadlocks;
       Deadlock { time = !now; waits_for = List.rev !waits_for; cycle }
     end
   in

@@ -78,3 +78,8 @@ val batch :
 
 val pp_outcome : System.t -> Format.formatter -> outcome -> unit
 val pp_batch : Format.formatter -> batch_stats -> unit
+
+(** Record one lock wait into the shared ["sim.lock_wait_us"] histogram
+    (sim time is scaled to micro-units so log2 buckets resolve sub-unit
+    waits).  Shared with {!Recovery}, whose runs feed the same metric. *)
+val obs_wait : since:float -> now:float -> unit

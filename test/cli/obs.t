@@ -1,0 +1,56 @@
+--stats collects telemetry and prints a metrics/span summary on stderr
+when the command exits; the normal stdout report is untouched.  Counter
+totals are deterministic (span timings are not, so only stable lines are
+checked):
+
+  $ ../../bin/ddlock_cli.exe gen ring -n 4 --copies 2 > fig2.txn
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn > plain.out
+  [1]
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --stats > stats.out 2> stats.err
+  [1]
+  $ diff plain.out stats.out
+  $ grep -E 'explore\.(states_visited|searches|deadlock_witnesses)' stats.err
+    explore.deadlock_witnesses             1
+    explore.searches                       1
+    explore.states_visited                 88
+  $ grep -c -- '-- spans --' stats.err
+  1
+
+The counters are jobs-invariant — the parallel engine reports the same
+totals:
+
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --stats --jobs 4 >/dev/null 2> stats4.err
+  [1]
+  $ grep -E 'explore\.(states_visited|searches|deadlock_witnesses)' stats4.err
+    explore.deadlock_witnesses             1
+    explore.searches                       1
+    explore.states_visited                 88
+
+--trace additionally writes a Chrome trace-event JSON file:
+
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --stats --trace trace.json >/dev/null 2>/dev/null
+  [1]
+  $ grep -c traceEvents trace.json
+  1
+
+minimize and chaos take the same flags:
+
+  $ ../../bin/ddlock_cli.exe minimize fig2.txn --stats > /dev/null 2> min.err
+  $ grep -E 'minimize\.candidates' min.err
+    minimize.candidates                    9
+
+  $ ../../bin/ddlock_cli.exe chaos fig2.txn --runs 1 --stats > /dev/null 2> chaos.err
+  $ grep -E 'chaos\.runs' chaos.err
+    chaos.runs                             5
+
+--trace without --stats is rejected up front with exit code 2:
+
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --trace trace.json
+  ddlock: --trace requires --stats
+  [2]
+
+So is an unwritable trace path (checked before any work happens):
+
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --stats --trace /nonexistent-dir/t.json
+  /nonexistent-dir/t.json: No such file or directory
+  [2]

@@ -15,4 +15,5 @@ let () =
       ("rw", Test_rw.suite);
       ("semantics", Test_semantics.suite);
       ("edge", Test_edge.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,259 @@
+(* Telemetry layer: histogram bucket arithmetic, shard merging under
+   real domain parallelism, snapshot determinism, trace well-formedness,
+   and the jobs-invariance of the engine counters. *)
+
+open Ddlock_schedule
+module Obs = Ddlock_obs
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Par = Ddlock_par.Par_explore
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* Each test runs with a clean registry state and leaves the switch
+   off, so suites running after this one see the default-off world. *)
+let with_obs f =
+  Metrics.reset ();
+  Trace.clear ();
+  Obs.Control.on ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Control.off ();
+      Metrics.reset ();
+      Trace.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_boundaries () =
+  let b = Metrics.Histogram.bucket_of in
+  List.iter
+    (fun (v, expect) ->
+      check int_t (Printf.sprintf "bucket_of %d" v) expect (b v))
+    [
+      (Int.min_int, 0);
+      (-1, 0);
+      (0, 0);
+      (1, 0);
+      (2, 1);
+      (3, 1);
+      (4, 2);
+      (7, 2);
+      (8, 3);
+      (1023, 9);
+      (1024, 10);
+      (1025, 10);
+      (* max_int = 2^62 - 1 on 64-bit, hence floor(log2) = 61 *)
+      (Int.max_int, 61);
+    ];
+  (* Bucket i >= 1 covers [2^i, 2^(i+1)): both endpoints land right. *)
+  for i = 1 to 20 do
+    let lo = Metrics.Histogram.bucket_lower i in
+    check int_t "lower endpoint in bucket" i (b lo);
+    check int_t "below lower endpoint in previous" (i - 1) (b (lo - 1))
+  done
+
+let test_histogram_observe () =
+  with_obs @@ fun () ->
+  let h = Metrics.Histogram.make "test.hist" in
+  List.iter (Metrics.Histogram.observe h) [ 0; 1; 2; 3; 900; 1024 ];
+  match List.assoc "test.hist" (Metrics.snapshot ()) with
+  | Metrics.Hist { count; sum; buckets } ->
+      check int_t "count" 6 count;
+      check int_t "sum" (0 + 1 + 2 + 3 + 900 + 1024) sum;
+      check
+        Alcotest.(list (pair int_t int_t))
+        "buckets" [ (0, 2); (1, 2); (9, 1); (10, 1) ] buckets
+  | _ -> Alcotest.fail "test.hist must be a histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Sharded counters under real domains                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_shard_merge () =
+  with_obs @@ fun () ->
+  let c = Metrics.Counter.make "test.sharded" in
+  let per_domain = 10_000 and domains = 4 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.Counter.incr c
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  (* The merge is a plain sum over shards, so the total is exact and
+     independent of which domain landed on which shard. *)
+  check int_t "merged total" ((domains + 1) * per_domain)
+    (Metrics.Counter.value c);
+  check int_t "by name" ((domains + 1) * per_domain)
+    (Metrics.counter_value "test.sharded")
+
+let test_gauge_set_max () =
+  with_obs @@ fun () ->
+  let g = Metrics.Gauge.make "test.gauge" in
+  Metrics.Gauge.set g 5;
+  Metrics.Gauge.set_max g 3;
+  check int_t "set_max keeps larger" 5 (Metrics.Gauge.value g);
+  Metrics.Gauge.set_max g 9;
+  check int_t "set_max raises" 9 (Metrics.Gauge.value g)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots, gating, reset                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_deterministic () =
+  with_obs @@ fun () ->
+  let c = Metrics.Counter.make "test.snap.c" in
+  let h = Metrics.Histogram.make "test.snap.h" in
+  Metrics.Counter.add c 7;
+  Metrics.Histogram.observe h 42;
+  let s1 = Metrics.snapshot () and s2 = Metrics.snapshot () in
+  check bool_t "snapshots equal" true (s1 = s2);
+  let names = List.map fst s1 in
+  check bool_t "sorted by name" true (names = List.sort compare names)
+
+let test_off_is_noop () =
+  Metrics.reset ();
+  Obs.Control.off ();
+  let c = Metrics.Counter.make "test.off" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 10;
+  check int_t "no recording while off" 0 (Metrics.Counter.value c);
+  Trace.clear ();
+  Trace.span "test.off.span" (fun () -> ());
+  check int_t "no spans while off" 0 (List.length (Trace.events ()))
+
+let test_reset () =
+  with_obs @@ fun () ->
+  let c = Metrics.Counter.make "test.reset" in
+  Metrics.Counter.add c 3;
+  Metrics.reset ();
+  check int_t "reset zeroes" 0 (Metrics.Counter.value c);
+  Metrics.Counter.add c 2;
+  check int_t "still usable after reset" 2 (Metrics.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_records () =
+  with_obs @@ fun () ->
+  let r = Trace.span "test.span" (fun () -> 41 + 1) in
+  check int_t "span returns body result" 42 r;
+  (match Trace.events () with
+  | [ ev ] ->
+      check Alcotest.string "name" "test.span" ev.Trace.name;
+      check bool_t "duration recorded" true (ev.Trace.dur_ns >= 0)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  (* Spans survive the exceptions the engines escape with. *)
+  (try Trace.span "test.raises" (fun () -> raise Exit) with Exit -> ());
+  check int_t "event recorded on raise" 2 (List.length (Trace.events ()))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_chrome_json_valid () =
+  with_obs @@ fun () ->
+  Trace.span "test.outer" (fun () ->
+      Trace.span "test.inner" (fun () -> ());
+      Trace.instant "test.mark");
+  let path = Filename.temp_file "ddlock_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.write_chrome_json oc;
+      close_out oc;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Obs.Json.validate s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid trace JSON: %s" e);
+      check bool_t "has traceEvents" true (contains s "\"traceEvents\""))
+
+let test_json_validate () =
+  let ok s = check bool_t s true (Result.is_ok (Obs.Json.validate s)) in
+  let bad s = check bool_t s true (Result.is_error (Obs.Json.validate s)) in
+  ok {|{"a": [1, 2.5, -3e4], "b": "x\nA", "c": [true, false, null]}|};
+  ok {|[]|};
+  ok {|"lone string"|};
+  bad {|{"a": 1,}|};
+  bad {|{"a" 1}|};
+  bad {|[1, 2|};
+  bad {|{"a": 1} trailing|};
+  bad {|{'a': 1}|};
+  bad ""
+
+(* ------------------------------------------------------------------ *)
+(* Engine counters are jobs-invariant                                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_counts f =
+  Metrics.reset ();
+  ignore (f ());
+  ( Metrics.counter_value "explore.states_visited",
+    Metrics.counter_value "explore.deadlock_witnesses" )
+
+let test_counters_jobs_invariant_fig2 () =
+  with_obs @@ fun () ->
+  let sys =
+    Ddlock_model.System.copies (Ddlock_workload.Gentx.guard_ring 4) 2
+  in
+  let seq = engine_counts (fun () -> Explore.find_deadlock sys) in
+  check bool_t "a witness was found" true (snd seq = 1);
+  List.iter
+    (fun jobs ->
+      let par = engine_counts (fun () -> Par.find_deadlock ~jobs sys) in
+      check bool_t (Printf.sprintf "jobs=%d equals sequential" jobs) true
+        (par = seq))
+    [ 1; 2; 4 ]
+
+let counters_invariant_prop =
+  QCheck.Test.make ~name:"counter totals invariant under jobs" ~count:25
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 3))
+    (fun (seed, jobs) ->
+      let st = Fixtures.rng seed in
+      let sys = Fixtures.small_random_system st ~txns:3 in
+      Metrics.reset ();
+      Trace.clear ();
+      Obs.Control.on ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Control.off ();
+          Metrics.reset ();
+          Trace.clear ())
+        (fun () ->
+          let seq = engine_counts (fun () -> Explore.find_deadlock sys) in
+          let par =
+            engine_counts (fun () -> Par.find_deadlock ~jobs sys)
+          in
+          seq = par))
+
+let qtests = List.map Fixtures.to_alcotest [ counters_invariant_prop ]
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_bucket_boundaries;
+    Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "counter shard merge" `Quick test_counter_shard_merge;
+    Alcotest.test_case "gauge set_max" `Quick test_gauge_set_max;
+    Alcotest.test_case "snapshot deterministic" `Quick
+      test_snapshot_deterministic;
+    Alcotest.test_case "off is a no-op" `Quick test_off_is_noop;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "span records" `Quick test_span_records;
+    Alcotest.test_case "chrome trace JSON valid" `Quick test_chrome_json_valid;
+    Alcotest.test_case "json validator" `Quick test_json_validate;
+    Alcotest.test_case "engine counters jobs-invariant" `Quick
+      test_counters_jobs_invariant_fig2;
+  ]
+  @ qtests
