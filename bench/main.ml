@@ -15,7 +15,7 @@
    Run with:  dune exec bench/main.exe                 (everything)
               dune exec bench/main.exe -- SECTION...   (a subset)
    Sections: agreement micro theorem4 exhaustive sim crossover recovery
-             faults sm geometry rw par obs
+             faults sm geometry rw par obs sym
 *)
 
 open Bechamel
@@ -71,19 +71,7 @@ let header title = Format.printf "@.== %s ==@." title
 (* Agreement tables (E5-E10 correctness side)                          *)
 (* ------------------------------------------------------------------ *)
 
-let random_pair st =
-  let sites = 1 + Random.State.int st 3 in
-  let entities = 2 + Random.State.int st 3 in
-  let db = Workload.Gentx.random_db ~sites ~entities in
-  let density = Random.State.float st 0.5 in
-  let mk () =
-    Workload.Gentx.random_transaction st db
-      ~entities:
-        (Workload.Gentx.random_entity_subset st db
-           ~k:(1 + Random.State.int st entities))
-      ~density
-  in
-  System.create [ mk (); mk () ]
+let random_pair st = Workload.Gentx.small_random_pair st
 
 let agreement () =
   header "E6/E7/E8 agreement: pair deciders vs exhaustive (500 random pairs)";
@@ -653,6 +641,58 @@ let obs () =
   Format.printf "  wrote BENCH_obs.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Symmetry reduction: orbit-quotient state counts vs copies           *)
+(* ------------------------------------------------------------------ *)
+
+let sym () =
+  header "E22 symmetry reduction: states visited, plain vs orbit quotient";
+  (* Copies of a guard ring are the worst case the paper's counterexample
+     figures are built from, and the best case for symmetry: the whole
+     automorphism group is the symmetric group on the copies, so the
+     quotient approaches raw/c! as the copies stop interacting. *)
+  let workloads =
+    List.map
+      (fun c -> (Printf.sprintf "%d copies of 3-ring" c, System.copies (Workload.Gentx.guard_ring 3) c, c))
+      [ 2; 3; 4 ]
+    @ List.map
+        (fun c -> (Printf.sprintf "%d copies of 2-ring" c, System.copies (Workload.Gentx.guard_ring 2) c, c))
+        [ 2; 3; 4; 5; 6 ]
+    (* Philosophers have pairwise-distinct transactions: the group is
+       trivial and --symmetry must degrade to a no-op (factor 1.0). *)
+    @ [ ("philosophers k=4 (no-op)", Workload.Gentx.dining_philosophers 4, 1) ]
+  in
+  Format.printf "  %-26s %-8s %-10s %-10s %-8s %-12s %-12s@." "workload"
+    "copies" "raw" "reduced" "factor" "raw (ms)" "sym (ms)";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"sym\",\n  \"series\": [";
+  List.iteri
+    (fun i (name, sys, copies) ->
+      let raw_space, raw_ms = wall_clock (fun () -> Sched.Explore.explore sys) in
+      let raw = Sched.Explore.state_count raw_space in
+      let sym_space, sym_ms =
+        wall_clock (fun () -> Sched.Explore.explore ~symmetry:true sys)
+      in
+      let reduced = Sched.Explore.state_count sym_space in
+      let orbit = Sched.Canon.orbit_size (Sched.Canon.detect sys) in
+      assert (reduced <= raw && raw <= reduced * orbit);
+      let factor = float_of_int raw /. float_of_int reduced in
+      Format.printf "  %-26s %-8d %-10d %-10d %-8.2f %-12.2f %-12.2f@." name
+        copies raw reduced factor raw_ms sym_ms;
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"workload\": %S, \"copies\": %d, \"orbit\": %d, \
+            \"raw_states\": %d, \"sym_states\": %d, \"factor\": %.2f, \
+            \"raw_ms\": %.2f, \"sym_ms\": %.2f }"
+           name copies orbit raw reduced factor raw_ms sym_ms))
+    workloads;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_sym.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_sym.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Read/write modes: readers-share speedup                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -706,6 +746,7 @@ let () =
       ("rw", rw_modes);
       ("par", par);
       ("obs", obs);
+      ("sym", sym);
     ]
   in
   let requested =

@@ -65,6 +65,24 @@ let check_jobs jobs =
     exit 2
   end
 
+let symmetry_arg =
+  Arg.(value & flag & info [ "symmetry" ]
+       ~doc:"Exploit identical-transaction symmetry in the exhaustive \
+             search: states are canonicalized to one representative per \
+             orbit of the automorphism group (verdict unchanged; \
+             reported schedules are mapped back to the original \
+             transaction indices).  A warning is printed when no two \
+             transactions are identical (the flag is then a no-op).")
+
+(* --symmetry on a system with a trivial automorphism group is
+   legitimate (the engines silently fall back to the plain search), but
+   the user probably expected a reduction — warn, don't fail. *)
+let check_symmetry ~symmetry sys =
+  if symmetry && not (Sched.Canon.nontrivial (Sched.Canon.detect sys)) then
+    Format.eprintf
+      "ddlock: --symmetry: no two transactions are structurally identical; \
+       symmetry reduction is a no-op@."
+
 (* --------------------------- observability ------------------------- *)
 
 let stats_arg =
@@ -132,12 +150,13 @@ let validate_cmd =
 (* ----------------------------- analyze ----------------------------- *)
 
 let analyze_cmd =
-  let run file max_states jobs stats trace =
+  let run file max_states jobs symmetry stats trace =
     check_jobs jobs;
     obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
-    let report = Analysis.report ~max_states ~jobs sys in
+    check_symmetry ~symmetry sys;
+    let report = Analysis.report ~max_states ~jobs ~symmetry sys in
     Format.printf "%a@." (Analysis.pp_report sys) report;
     (match report.Analysis.deadlock with
     | Analysis.Deadlocks { schedule; _ } ->
@@ -161,7 +180,8 @@ let analyze_cmd =
          "Full analysis: Theorem 3/4 safety∧deadlock-freedom plus bounded \
           exhaustive deadlock search.")
     Term.(
-      const run $ file_arg $ max_states_arg $ jobs_arg $ stats_arg $ trace_arg)
+      const run $ file_arg $ max_states_arg $ jobs_arg $ symmetry_arg
+      $ stats_arg $ trace_arg)
 
 (* ------------------------------- pair ------------------------------ *)
 
@@ -401,12 +421,13 @@ let repair_cmd =
 (* ----------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run file max_states jobs stats trace =
+  let run file max_states jobs symmetry stats trace =
     check_jobs jobs;
     obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
-    match Minimize.deadlock_core ~max_states ~jobs sys with
+    check_symmetry ~symmetry sys;
+    match Minimize.deadlock_core ~max_states ~jobs ~symmetry sys with
     | None ->
         Format.printf
           "# no deadlock found (deadlock-free, or search budget exceeded)@.";
@@ -435,7 +456,8 @@ let minimize_cmd =
        ~doc:
          "Shrink a deadlocking system to a minimal core that still           deadlocks (drops transactions and entity accesses).")
     Term.(
-      const run $ file_arg $ max_states_arg $ jobs_arg $ stats_arg $ trace_arg)
+      const run $ file_arg $ max_states_arg $ jobs_arg $ symmetry_arg
+      $ stats_arg $ trace_arg)
 
 (* ------------------------------- dot ------------------------------- *)
 

@@ -23,7 +23,13 @@
    - with [--jobs n], n > 1: the deterministic parallel engine
      (Par.Par_explore) vs the sequential explorer — identical state
      counts, identical deadlock witnesses, identical Lemma-1
-     counterexamples, identical Theorem-1 prefix verdicts.
+     counterexamples, identical Theorem-1 prefix verdicts;
+   - with [--symmetry]: the orbit-canonicalized engines (Sched.Canon)
+     vs the plain ones — identical deadlock verdicts on both generic
+     and identical-copy systems, witness legality, canonical state
+     counts within [raw/orbit_size, raw], Theorem-1 prefix verdicts,
+     and (under --jobs) par-vs-seq symmetric equality plus identical
+     explore.states_visited / canon.hits counter totals.
 *)
 
 open Ddlock
@@ -31,6 +37,7 @@ module System = Model.System
 
 let () =
   let rounds = ref 500 and seed = ref 1 and txns = ref 3 and jobs = ref 1 in
+  let symmetry = ref false in
   let args =
     [
       ("--rounds", Arg.Set_int rounds, "number of rounds (default 500)");
@@ -40,6 +47,10 @@ let () =
         Arg.Set_int jobs,
         "also cross-check the parallel engine with 2..jobs domains \
          (default 1 = off)" );
+      ( "--symmetry",
+        Arg.Set symmetry,
+        "also cross-check the symmetry-reduced engines against the plain \
+         ones every round" );
     ]
   in
   Arg.parse args (fun _ -> ()) "fuzz [options]";
@@ -55,18 +66,8 @@ let () =
   for round = 1 to !rounds do
     let st = Random.State.make [| !seed; round |] in
     (* --- pairs --- *)
-    let sites = 1 + Random.State.int st 3 in
-    let entities = 2 + Random.State.int st 3 in
-    let db = Workload.Gentx.random_db ~sites ~entities in
-    let mk () =
-      Workload.Gentx.random_transaction st db
-        ~entities:
-          (Workload.Gentx.random_entity_subset st db
-             ~k:(1 + Random.State.int st entities))
-        ~density:(Random.State.float st 0.5)
-    in
-    let t1 = mk () and t2 = mk () in
-    let pair_sys = System.create [ t1; t2 ] in
+    let pair_sys = Workload.Gentx.small_random_pair st in
+    let t1 = System.txn pair_sys 0 and t2 = System.txn pair_sys 1 in
     let exh = Result.is_ok (Sched.Explore.safe_and_deadlock_free pair_sys) in
     if Safety.Pair.safe_and_deadlock_free t1 t2 <> exh then
       report "Theorem 3" round;
@@ -79,31 +80,16 @@ let () =
       <> Safety.Pair.safe_and_deadlock_free t1 t1
     then report "Corollary 3" round;
     (* --- centralized geometry --- *)
-    let cdb = Workload.Gentx.random_db ~sites:1 ~entities:4 in
-    let cmk () =
-      Workload.Gentx.random_transaction st cdb
-        ~entities:
-          (Workload.Gentx.random_entity_subset st cdb
-             ~k:(1 + Random.State.int st 4))
-        ~density:0.2
+    let csys =
+      Workload.Gentx.small_random_pair ~sites:1 ~entities:4 ~density:0.2 st
     in
-    let c1 = cmk () and c2 = cmk () in
-    let csys = System.create [ c1; c2 ] in
+    let c1 = System.txn csys 0 and c2 = System.txn csys 1 in
     if Safety.Geometry.deadlock_free c1 c2 <> Sched.Explore.deadlock_free csys
     then report "geometry deadlock" round;
     if Safety.Geometry.safe c1 c2 <> Result.is_ok (Sched.Explore.safe csys)
     then report "geometry safety" round;
     (* --- k transactions --- *)
-    let db2 = Workload.Gentx.random_db ~sites:2 ~entities:3 in
-    let sys =
-      System.create
-        (List.init !txns (fun _ ->
-             Workload.Gentx.random_transaction st db2
-               ~entities:
-                 (Workload.Gentx.random_entity_subset st db2
-                    ~k:(1 + Random.State.int st 2))
-               ~density:(Random.State.float st 0.5)))
-    in
+    let sys = Workload.Gentx.small_random_system ~sites:2 ~entities:3 st ~txns:!txns in
     let sys_safe_df = Result.is_ok (Sched.Explore.safe_and_deadlock_free sys) in
     if Safety.Many.safe_and_deadlock_free sys <> sys_safe_df then
       report "Theorem 4" round;
@@ -120,7 +106,8 @@ let () =
     then report "wound-wait serializability" round;
     (* --- chaos invariants under a random fault plan --- *)
     let plan =
-      Sim.Faults.random st db2 ~intensity:(Random.State.float st 0.8)
+      Sim.Faults.random st (System.db sys)
+        ~intensity:(Random.State.float st 0.8)
         ~horizon:30.0
     in
     List.iter
@@ -175,6 +162,73 @@ let () =
       Obs.Control.off ();
       Obs.Metrics.reset ();
       if seq_counts <> par_counts then report "obs counter determinism" round
+    end;
+    (* --- symmetry-reduced engines vs plain ground truth --- *)
+    if !symmetry then begin
+      (* Generic k-transaction system: same verdict, legal witness. *)
+      (match
+         ( Sched.Explore.find_deadlock sys,
+           Sched.Explore.find_deadlock ~symmetry:true sys )
+       with
+      | None, None -> ()
+      | None, Some _ | Some _, None -> report "sym verdict" round
+      | Some _, Some (sched, stf) ->
+          if not (Sched.Schedule.is_legal sys sched) then
+            report "sym witness legality" round
+          else if not (Sched.State.equal (Sched.Schedule.prefix_vector sys sched) stf)
+          then report "sym witness endpoint" round
+          else if not (Sched.State.is_deadlock sys stf) then
+            report "sym witness deadlock" round);
+      if
+        Deadlock.Prefix_search.deadlock_free ~symmetry:true sys
+        <> Deadlock.Prefix_search.deadlock_free sys
+      then report "sym prefix verdict" round;
+      (* Identical copies: counts bounded by the orbit size, same verdict. *)
+      let copies = 2 + (round mod 2) in
+      let ksys = Workload.Gentx.random_copies_system st ~copies in
+      let canon = Sched.Canon.detect ksys in
+      let raw = Sched.Explore.state_count (Sched.Explore.explore ksys) in
+      let reduced =
+        Sched.Explore.state_count (Sched.Explore.explore ~symmetry:true ksys)
+      in
+      if reduced > raw || raw > reduced * Sched.Canon.orbit_size canon then
+        report "sym state-count bound" round;
+      if
+        (Sched.Explore.find_deadlock ksys = None)
+        <> (Sched.Explore.find_deadlock ~symmetry:true ksys = None)
+      then report "sym copies verdict" round;
+      if !jobs > 1 then begin
+        let j = 2 + (round mod (!jobs - 1)) in
+        if
+          Par.Par_explore.find_deadlock ~symmetry:true ~jobs:j ksys
+          <> Sched.Explore.find_deadlock ~symmetry:true ksys
+        then report "sym par witness" round;
+        if
+          Par.Par_explore.state_count
+            (Par.Par_explore.explore ~symmetry:true ~jobs:j ksys)
+          <> reduced
+        then report "sym par state count" round;
+        (* Counter totals must be jobs-invariant under symmetry too. *)
+        let counters_after f =
+          Obs.Metrics.reset ();
+          ignore (f ());
+          ( Obs.Metrics.counter_value "explore.states_visited",
+            Obs.Metrics.counter_value "canon.hits" )
+        in
+        Obs.Control.on ();
+        let seq_counts =
+          counters_after (fun () ->
+              Sched.Explore.find_deadlock ~symmetry:true ksys)
+        in
+        let par_counts =
+          counters_after (fun () ->
+              Par.Par_explore.find_deadlock ~symmetry:true ~jobs:j ksys)
+        in
+        Obs.Control.off ();
+        Obs.Metrics.reset ();
+        if seq_counts <> par_counts then
+          report "sym counter determinism" round
+      end
     end;
     (* --- rw invariants --- *)
     let rwdb = Workload.Gentx.random_db ~sites:1 ~entities:3 in

@@ -42,7 +42,7 @@ let pp_deadlock_verdict sys ppf = function
         "unknown (search budget exhausted after %d states; the problem is coNP-hard)"
         states_explored
 
-let deadlock_free ?(max_states = 500_000) ?(jobs = 1) sys =
+let deadlock_free ?(max_states = 500_000) ?(jobs = 1) ?(symmetry = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
   match safe_and_deadlock_free sys with
   | Safe_and_deadlock_free -> Deadlock_free
@@ -51,8 +51,8 @@ let deadlock_free ?(max_states = 500_000) ?(jobs = 1) sys =
         ~args:[ ("jobs", string_of_int jobs) ]
       @@ fun () ->
       match
-        if jobs = 1 then Explore.find_deadlock ~max_states sys
-        else Ddlock_par.Par_explore.find_deadlock ~max_states ~jobs sys
+        if jobs = 1 then Explore.find_deadlock ~max_states ~symmetry sys
+        else Ddlock_par.Par_explore.find_deadlock ~max_states ~symmetry ~jobs sys
       with
       | Some (schedule, state) -> Deadlocks { schedule; state }
       | None -> Deadlock_free
@@ -70,7 +70,7 @@ type report = {
   deadlock : deadlock_verdict;
 }
 
-let report ?max_states ?jobs sys =
+let report ?max_states ?jobs ?symmetry sys =
   Ddlock_obs.Trace.span "analysis.report" @@ fun () ->
   let db = System.db sys in
   let g = System.interaction_graph sys in
@@ -84,7 +84,7 @@ let report ?max_states ?jobs sys =
     interaction_edges = Ungraph.edge_count g;
     interaction_cycles = Seq.length (Ungraph.cycles g);
     safety = safe_and_deadlock_free sys;
-    deadlock = deadlock_free ?max_states ?jobs sys;
+    deadlock = deadlock_free ?max_states ?jobs ?symmetry sys;
   }
 
 type pair_counterexample = { steps : Step.t list; d_cycle : int list }

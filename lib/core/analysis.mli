@@ -35,13 +35,18 @@ type deadlock_verdict =
 
 val pp_deadlock_verdict : System.t -> Format.formatter -> deadlock_verdict -> unit
 
-(** [deadlock_free ?max_states ?jobs sys] — first tries the polynomial
-    sufficient condition (safe ∧ DF ⇒ DF); otherwise runs the bounded
-    exhaustive Theorem-1 search, on [jobs] worker domains when
+(** [deadlock_free ?max_states ?jobs ?symmetry sys] — first tries the
+    polynomial sufficient condition (safe ∧ DF ⇒ DF); otherwise runs the
+    bounded exhaustive Theorem-1 search, on [jobs] worker domains when
     [jobs > 1] (the verdict and witness are identical for every [jobs];
-    see {!Ddlock_par.Par_explore}).  Default budget: 500_000 states.
-    Raises [Invalid_argument] when [jobs < 1]. *)
-val deadlock_free : ?max_states:int -> ?jobs:int -> System.t -> deadlock_verdict
+    see {!Ddlock_par.Par_explore}).  With [~symmetry:true] that search
+    stores one state per orbit of the identical-transaction automorphism
+    group ({!Ddlock_schedule.Canon}) — same verdict, witness valid for
+    the original system, and systems that exhaust the raw budget may fit
+    the reduced one.  Default budget: 500_000 states.  Raises
+    [Invalid_argument] when [jobs < 1]. *)
+val deadlock_free :
+  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> deadlock_verdict
 
 (** {1 Reports} *)
 
@@ -58,8 +63,9 @@ type report = {
 }
 
 (** Full analysis: structural statistics plus both verdicts.  [jobs]
-    parallelizes the exhaustive deadlock search (result unchanged). *)
-val report : ?max_states:int -> ?jobs:int -> System.t -> report
+    parallelizes the exhaustive deadlock search and [symmetry] shrinks
+    it to orbit representatives (verdict unchanged either way). *)
+val report : ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> report
 
 val pp_report : System.t -> Format.formatter -> report -> unit
 

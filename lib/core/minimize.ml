@@ -12,20 +12,20 @@ let obs_shrunk = Ddlock_obs.Metrics.Counter.make "minimize.shrink_steps"
 
 (* Conservative deadlockability: [None] means "unknown" (budget hit) and
    the candidate move is rejected. *)
-let deadlocks ?max_states ?(jobs = 1) sys =
+let deadlocks ?max_states ?(jobs = 1) ?symmetry sys =
   Ddlock_obs.Metrics.Counter.incr obs_candidates;
   match
-    if jobs = 1 then Explore.find_deadlock ?max_states sys
-    else Ddlock_par.Par_explore.find_deadlock ?max_states ~jobs sys
+    if jobs = 1 then Explore.find_deadlock ?max_states ?symmetry sys
+    else Ddlock_par.Par_explore.find_deadlock ?max_states ?symmetry ~jobs sys
   with
   | Some _ -> Some true
   | None -> Some false
   | exception Explore.Too_large _ -> None
 
-let deadlock_core ?max_states ?(jobs = 1) sys =
+let deadlock_core ?max_states ?(jobs = 1) ?symmetry sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
   Ddlock_obs.Trace.span "minimize.deadlock_core" @@ fun () ->
-  match deadlocks ?max_states ~jobs sys with
+  match deadlocks ?max_states ~jobs ?symmetry sys with
   | None | Some false -> None
   | Some true ->
       (* State: list of (original index, transaction). *)
@@ -33,7 +33,8 @@ let deadlock_core ?max_states ?(jobs = 1) sys =
       let dropped = ref [] in
       let mk txns = System.create (List.map snd txns) in
       let still_deadlocks txns =
-        List.length txns >= 2 && deadlocks ?max_states ~jobs (mk txns) = Some true
+        List.length txns >= 2
+        && deadlocks ?max_states ~jobs ?symmetry (mk txns) = Some true
       in
       let changed = ref true in
       while !changed do

@@ -19,9 +19,14 @@ type result = {
       (** (original txn index, entity) accesses removed *)
 }
 
-(** [deadlock_core ?max_states ?jobs sys] — requires the input to
-    deadlock (returns [None] otherwise or when the search budget is
+(** [deadlock_core ?max_states ?jobs ?symmetry sys] — requires the input
+    to deadlock (returns [None] otherwise or when the search budget is
     exceeded).  [jobs > 1] runs each deadlockability re-check on the
-    parallel engine; the minimized core is identical for every [jobs].
-    Raises [Invalid_argument] when [jobs < 1]. *)
-val deadlock_core : ?max_states:int -> ?jobs:int -> System.t -> result option
+    parallel engine, and [~symmetry:true] makes every re-check store one
+    state per identical-transaction orbit ({!Ddlock_schedule.Canon});
+    the minimized core is identical for every [jobs] and either
+    [symmetry] flag (the group is re-detected per candidate, so shrunk
+    systems keep whatever symmetry they retain).  Raises
+    [Invalid_argument] when [jobs < 1]. *)
+val deadlock_core :
+  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> result option

@@ -23,11 +23,34 @@ let scan ?max_states sys =
 
 let cyclic sys st = Reduction.has_cycle (Reduction.make sys st)
 
-let find ?max_states ?(jobs = 1) sys =
+(* The reduction-graph predicate is invariant under identical-transaction
+   permutations (the graph is renamed node-for-node), so with
+   [~symmetry:true] the goal-directed searches may evaluate it on orbit
+   representatives; the engines hand back a schedule and prefix already
+   translated to the original system, and the cycle is recomputed on that
+   real prefix. *)
+let find ?max_states ?(jobs = 1) ?(symmetry = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
   Obs_t.span "prefix_search.find" @@ fun () ->
   let r =
-    if jobs = 1 then
+    if symmetry then
+      let witness =
+        if jobs = 1 then
+          Explore.bfs ?max_states ~symmetry sys ~found:(cyclic sys)
+        else
+          Ddlock_par.Par_explore.bfs ?max_states ~symmetry ~jobs sys
+            ~found:(cyclic sys)
+      in
+      match witness with
+      | None -> None
+      | Some (schedule, prefix) ->
+          let cycle =
+            match Reduction.find_cycle (Reduction.make sys prefix) with
+            | Some c -> c
+            | None -> assert false
+          in
+          Some { prefix; schedule; cycle }
+    else if jobs = 1 then
       match scan ?max_states sys () with
       | Seq.Nil -> None
       | Seq.Cons ((prefix, cycle, sp), _) ->
@@ -49,11 +72,19 @@ let find ?max_states ?(jobs = 1) sys =
   if r <> None then Ddlock_obs.Metrics.Counter.incr obs_prefix_witnesses;
   r
 
-let deadlock_free ?max_states ?jobs sys = find ?max_states ?jobs sys = None
+let deadlock_free ?max_states ?jobs ?symmetry sys =
+  find ?max_states ?jobs ?symmetry sys = None
 
-let all ?max_states ?(jobs = 1) sys =
+let all ?max_states ?(jobs = 1) ?(symmetry = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
-  if jobs = 1 then Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)
+  if symmetry then
+    if jobs = 1 then
+      let sp = Explore.explore ?max_states ~symmetry sys in
+      Seq.filter (cyclic sys) (Explore.states sp)
+    else
+      let sp = Ddlock_par.Par_explore.explore ?max_states ~symmetry ~jobs sys in
+      Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)
+  else if jobs = 1 then Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)
   else
     let sp = Ddlock_par.Par_explore.explore ?max_states ~jobs sys in
     Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)

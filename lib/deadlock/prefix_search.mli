@@ -21,15 +21,27 @@ type witness = {
     the reduction-graph predicate concurrently, and returns the {e
     canonical} witness — the first deadlock prefix in BFS insertion
     order (hence of minimal depth) — identically for every [jobs > 1].
-    Raises [Invalid_argument] when [jobs < 1]. *)
-val find : ?max_states:int -> ?jobs:int -> System.t -> witness option
+    Raises [Invalid_argument] when [jobs < 1].
+
+    With [~symmetry:true] the search runs over orbit representatives of
+    the identical-transaction automorphism group (sound because the
+    reduction-graph predicate is invariant under those permutations);
+    the returned schedule and prefix are translated back to the original
+    system, identically for {e every} [jobs] (including [jobs = 1],
+    which then also takes the BFS goal-directed path rather than the
+    historical table-order scan). *)
+val find :
+  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> witness option
 
 (** [deadlock_free sys] iff no reachable state has a cyclic reduction
     graph — by Theorem 1 this is equivalent to
     {!Ddlock_schedule.Explore.deadlock_free}.  The verdict is identical
-    for every [jobs]. *)
-val deadlock_free : ?max_states:int -> ?jobs:int -> System.t -> bool
+    for every [jobs] and either [symmetry] flag. *)
+val deadlock_free :
+  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> bool
 
 (** All deadlock prefixes (reachable states with cyclic R).  With
-    [jobs > 1] the result is in deterministic BFS discovery order. *)
-val all : ?max_states:int -> ?jobs:int -> System.t -> State.t Seq.t
+    [jobs > 1] the result is in deterministic BFS discovery order; with
+    [~symmetry:true] one representative per deadlock-prefix orbit. *)
+val all :
+  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> State.t Seq.t

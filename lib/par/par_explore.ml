@@ -45,6 +45,7 @@ module Obs = struct
   let states_visited = M.Counter.make "explore.states_visited"
   let deadlock_witnesses = M.Counter.make "explore.deadlock_witnesses"
   let searches = M.Counter.make "explore.searches"
+  let canon_hits = M.Counter.make "canon.hits"
   let levels = M.Counter.make "par.levels"
   let handoffs = M.Counter.make "par.handoffs"
   let frontier = M.Histogram.make "par.frontier_states"
@@ -59,6 +60,10 @@ type 'n ops = {
   next : 'n -> (Step.t * 'n) list;  (* canonical successor order *)
   restrict : 'n -> bool;
   found : 'n -> bool;
+  moved : parent:'n -> Step.t -> 'n -> bool;
+      (* whether the stored successor differs from the raw one (symmetry
+         canonicalization); evaluated at insertion so the [canon.hits]
+         total is jobs-invariant, and only while telemetry is on *)
 }
 
 type 'n entry = {
@@ -240,6 +245,12 @@ let search_core ~max_states ~jobs ~ops init =
             };
           t.total <- t.total + 1;
           Obs.M.Counter.incr Obs.states_visited;
+          (if Ddlock_obs.Control.is_on () then
+             match find_entry t c.parent_key with
+             | Some pe ->
+                 if ops.moved ~parent:pe.node c.via_step c.cnode then
+                   Obs.M.Counter.incr Obs.canon_hits
+             | None -> ());
           next := (rank, c.ckey, c.cnode) :: !next;
           incr nnext;
           if c.hit then begin
@@ -271,17 +282,49 @@ let state_ops sys ~restrict ~found =
       (fun st -> List.map (fun s -> (s, State.apply st s)) (State.enabled sys st));
     restrict;
     found;
+    moved = (fun ~parent:_ _ _ -> false);
   }
 
-type space = { sys : System.t; tbl : State.t table }
+(* Quotient-space instance: successors are orbit representatives, so the
+   dedup shard map keys become canonical keys with no other change —
+   [key] stays [State.key] because the stored nodes are already
+   canonical.  [restrict]/[found] see representatives and must be
+   group-invariant (see {!Explore.bfs}). *)
+let sym_state_ops c sys ~restrict ~found =
+  {
+    key = State.key;
+    next =
+      (fun rep ->
+        List.map
+          (fun s -> (s, fst (Canon.normalize c (State.apply rep s))))
+          (State.enabled sys rep));
+    restrict;
+    found;
+    moved =
+      (fun ~parent step rep' -> not (State.equal (State.apply parent step) rep'));
+  }
 
-let explore ?(max_states = Explore.default_cap) ~jobs sys =
+let plain_or_sym_ops canon sys ~restrict ~found =
+  match canon with
+  | None -> state_ops sys ~restrict ~found
+  | Some c -> sym_state_ops c sys ~restrict ~found
+
+let initial_node canon sys =
+  match canon with
+  | None -> State.initial sys
+  | Some c -> fst (Canon.normalize c (State.initial sys))
+
+type space = { sys : System.t; tbl : State.t table; canon : Canon.t option }
+
+let explore ?(max_states = Explore.default_cap) ?(symmetry = false) ~jobs sys =
+  let canon = Explore.active_canon ~symmetry sys in
   match
     search_core ~max_states ~jobs
-      ~ops:(state_ops sys ~restrict:(fun _ -> true) ~found:(fun _ -> false))
-      (State.initial sys)
+      ~ops:(plain_or_sym_ops canon sys ~restrict:(fun _ -> true)
+              ~found:(fun _ -> false))
+      (initial_node canon sys)
   with
-  | Space tbl -> { sys; tbl }
+  | Space tbl -> { sys; tbl; canon }
   | Witness _ -> assert false
 
 let system sp = sp.sys
@@ -295,29 +338,48 @@ let states sp =
     sp.tbl.shards;
   Seq.map Option.get (Array.to_seq arr)
 
-let is_reachable sp st = find_entry sp.tbl (State.key st) <> None
-let schedule_to sp st = path_to sp.tbl (State.key st)
+let lookup_key sp st =
+  match sp.canon with
+  | None -> State.key st
+  | Some c -> Canon.canon_key c st
 
-let bfs ?(max_states = Explore.default_cap) ?(restrict = fun _ -> true) ~jobs
-    sys ~found =
+let is_reachable sp st = find_entry sp.tbl (lookup_key sp st) <> None
+
+let schedule_to sp st =
+  match sp.canon with
+  | None -> path_to sp.tbl (State.key st)
+  | Some c ->
+      Option.map
+        (fun steps -> Canon.realize_to c steps st)
+        (path_to sp.tbl (Canon.canon_key c st))
+
+let bfs ?(max_states = Explore.default_cap) ?(restrict = fun _ -> true)
+    ?(symmetry = false) ~jobs sys ~found =
+  let canon = Explore.active_canon ~symmetry sys in
   match
     search_core ~max_states ~jobs
-      ~ops:(state_ops sys ~restrict ~found)
-      (State.initial sys)
+      ~ops:(plain_or_sym_ops canon sys ~restrict ~found)
+      (initial_node canon sys)
   with
   | Space _ -> None
-  | Witness (steps, st) -> Some (steps, st)
+  | Witness (steps, st) -> (
+      match canon with
+      | None -> Some (steps, st)
+      | Some c -> Some (Canon.realize c steps))
 
-let find_deadlock ?max_states ~jobs sys =
-  let r = bfs ?max_states ~jobs sys ~found:(fun st -> State.is_deadlock sys st) in
+let find_deadlock ?max_states ?symmetry ~jobs sys =
+  let r =
+    bfs ?max_states ?symmetry ~jobs sys
+      ~found:(fun st -> State.is_deadlock sys st)
+  in
   if r <> None then begin
     Obs.M.Counter.incr Obs.deadlock_witnesses;
     Obs.T.instant "explore.deadlock_witness"
   end;
   r
 
-let deadlock_free ?max_states ~jobs sys =
-  Option.is_none (find_deadlock ?max_states ~jobs sys)
+let deadlock_free ?max_states ?symmetry ~jobs sys =
+  Option.is_none (find_deadlock ?max_states ?symmetry ~jobs sys)
 
 (* --------------------- Lemma-1 extended space ---------------------- *)
 
@@ -334,6 +396,7 @@ let lemma1_ops sys ~report =
             match report with
             | `All_cyclic -> true
             | `Complete_cyclic -> Explore.Lemma1.complete sys n));
+    moved = (fun ~parent:_ _ _ -> false);
   }
 
 let lemma1_search ?(max_states = Explore.default_cap) ~jobs sys ~report =

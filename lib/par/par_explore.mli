@@ -24,10 +24,15 @@ val validate_jobs : int -> unit
 
 type space
 
-(** [explore ?max_states ~jobs sys] — the reachable state space, with
-    parent pointers, computed on [jobs] domains.  Same states, counts
-    and shortest schedules as {!Explore.explore}. *)
-val explore : ?max_states:int -> jobs:int -> System.t -> space
+(** [explore ?max_states ?symmetry ~jobs sys] — the reachable state
+    space, with parent pointers, computed on [jobs] domains.  Same
+    states, counts and shortest schedules as {!Explore.explore}, for the
+    same [symmetry] flag.  With [~symmetry:true] the canonical key
+    replaces the raw state key in the dedup shard map (the stored nodes
+    are orbit representatives, see {!Ddlock_schedule.Canon}), and orbit
+    members pruned by canonical dedup never count against
+    [max_states]. *)
+val explore : ?max_states:int -> ?symmetry:bool -> jobs:int -> System.t -> space
 
 val system : space -> System.t
 val jobs : space -> int
@@ -44,23 +49,31 @@ val schedule_to : space -> State.t -> Step.t list option
 
 (** {1 Goal-directed search} *)
 
-(** [bfs ?max_states ?restrict ~jobs sys ~found] — first state (in BFS
-    insertion order) satisfying [found], with the schedule reaching it;
-    identical to {!Explore.bfs} output for every [jobs].  [found] and
-    [restrict] are evaluated concurrently on worker domains and must be
-    pure. *)
+(** [bfs ?max_states ?restrict ?symmetry ~jobs sys ~found] — first state
+    (in BFS insertion order) satisfying [found], with the schedule
+    reaching it; identical to {!Explore.bfs} output for every [jobs] and
+    the same [symmetry] flag.  [found] and [restrict] are evaluated
+    concurrently on worker domains and must be pure; with
+    [~symmetry:true] they see orbit representatives and must be
+    invariant under identical-transaction permutations. *)
 val bfs :
   ?max_states:int ->
   ?restrict:(State.t -> bool) ->
+  ?symmetry:bool ->
   jobs:int ->
   System.t ->
   found:(State.t -> bool) ->
   (Step.t list * State.t) option
 
 val find_deadlock :
-  ?max_states:int -> jobs:int -> System.t -> (Step.t list * State.t) option
+  ?max_states:int ->
+  ?symmetry:bool ->
+  jobs:int ->
+  System.t ->
+  (Step.t list * State.t) option
 
-val deadlock_free : ?max_states:int -> jobs:int -> System.t -> bool
+val deadlock_free :
+  ?max_states:int -> ?symmetry:bool -> jobs:int -> System.t -> bool
 
 (** {1 Lemma-1 searches (safety)}
 

@@ -17,10 +17,47 @@ module Obs = struct
 
   let searches = Ddlock_obs.Metrics.Counter.make "explore.searches"
   let visit () = Ddlock_obs.Metrics.Counter.incr states_visited
+
+  (* Symmetry-reduction telemetry.  [canon_hits] counts inserted states
+     whose generating successor differed from its orbit representative;
+     like [states_visited] it is bumped at insertion time, so totals are
+     jobs-invariant.  [orbit_gauge] records the largest automorphism
+     group order seen by a symmetric search. *)
+  let canon_hits = Ddlock_obs.Metrics.Counter.make "canon.hits"
+  let orbit_gauge = Ddlock_obs.Metrics.Gauge.make "canon.orbit_size"
+  let hit moved = if moved then Ddlock_obs.Metrics.Counter.incr canon_hits
 end
 
 type entry = { state : State.t; parent : string option; via : Step.t option }
-type space = { sys : System.t; table : (string, entry) Hashtbl.t }
+
+type space = {
+  sys : System.t;
+  table : (string, entry) Hashtbl.t;
+  canon : Canon.t option;  (* Some ⇒ the table holds orbit representatives *)
+}
+
+(* The canonicalizer a symmetric search should use: [None] when symmetry
+   is off or the automorphism group is trivial (then canonicalization is
+   the identity and the plain engine is already optimal). *)
+let active_canon ~symmetry sys =
+  if not symmetry then None
+  else
+    let c = Canon.detect sys in
+    if Canon.nontrivial c then begin
+      Ddlock_obs.Metrics.Gauge.set_max Obs.orbit_gauge (Canon.orbit_size c);
+      Some c
+    end
+    else None
+
+(* Successor normalization: identity when no canonicalizer is active;
+   otherwise the orbit representative plus whether the raw successor was
+   moved (feeds the [canon.hits] counter at insertion). *)
+let normalizer = function
+  | None -> fun st -> (st, false)
+  | Some c ->
+      fun st ->
+        let rep, _ = Canon.normalize c st in
+        (rep, not (State.equal st rep))
 
 let default_cap = 2_000_000
 
@@ -30,12 +67,14 @@ let default_cap = 2_000_000
 let check_room count max_states =
   if count >= max_states then raise (Too_large count)
 
-let explore ?(max_states = default_cap) sys =
+let explore ?(max_states = default_cap) ?(symmetry = false) sys =
   Ddlock_obs.Metrics.Counter.incr Obs.searches;
   Obs.T.span "explore.explore" @@ fun () ->
+  let canon = active_canon ~symmetry sys in
+  let norm = normalizer canon in
   let table = Hashtbl.create 1024 in
   let q = Queue.create () in
-  let init = State.initial sys in
+  let init, _ = norm (State.initial sys) in
   check_room 0 max_states;
   Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
   Obs.visit ();
@@ -45,23 +84,33 @@ let explore ?(max_states = default_cap) sys =
     let k = State.key st in
     List.iter
       (fun step ->
-        let st' = State.apply st step in
+        (* Canonical dedup happens before the cap check: a successor that
+           merely lands in an already-stored orbit never counts against
+           [max_states]. *)
+        let st', moved = norm (State.apply st step) in
         let k' = State.key st' in
         if not (Hashtbl.mem table k') then begin
           check_room (Hashtbl.length table) max_states;
           Hashtbl.replace table k'
             { state = st'; parent = Some k; via = Some step };
           Obs.visit ();
+          Obs.hit moved;
           Queue.push st' q
         end)
       (State.enabled sys st)
   done;
-  { sys; table }
+  { sys; table; canon }
 
 let system sp = sp.sys
 let state_count sp = Hashtbl.length sp.table
 let states sp = Seq.map (fun (_, e) -> e.state) (Hashtbl.to_seq sp.table)
-let is_reachable sp st = Hashtbl.mem sp.table (State.key st)
+
+let lookup_key sp st =
+  match sp.canon with
+  | None -> State.key st
+  | Some c -> Canon.canon_key c st
+
+let is_reachable sp st = Hashtbl.mem sp.table (lookup_key sp st)
 
 let path_to sp key =
   let rec go key acc =
@@ -73,21 +122,39 @@ let path_to sp key =
   in
   go key []
 
-let schedule_to sp st = path_to sp (State.key st)
+let schedule_to sp st =
+  match sp.canon with
+  | None -> path_to sp (State.key st)
+  | Some c ->
+      (* The stored path reaches the representative of [st]'s orbit;
+         replay it through the permutations to reach [st] itself. *)
+      Option.map
+        (fun steps -> Canon.realize_to c steps st)
+        (path_to sp (Canon.canon_key c st))
 
 (* Breadth-first search with a found predicate, shared by the deadlock and
    targeted searches. *)
-let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
+let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true)
+    ?(symmetry = false) sys ~found =
   Ddlock_obs.Metrics.Counter.incr Obs.searches;
   Obs.T.span "explore.bfs" @@ fun () ->
+  let canon = active_canon ~symmetry sys in
+  let norm = normalizer canon in
+  (* With a canonicalizer active, [found] and [restrict] are evaluated on
+     orbit representatives; both must be invariant under the group (the
+     deadlock and reduction-cycle predicates are).  The canonical witness
+     path is translated back to the original system on the way out. *)
+  let finish (steps, st) =
+    match canon with None -> (steps, st) | Some c -> Canon.realize c steps
+  in
   let table = Hashtbl.create 1024 in
   let q = Queue.create () in
-  let init = State.initial sys in
+  let init, _ = norm (State.initial sys) in
   check_room 0 max_states;
   Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
   Obs.visit ();
-  let sp = { sys; table } in
-  if found init then Some (Option.get (path_to sp (State.key init)), init)
+  let sp = { sys; table; canon } in
+  if found init then Some (finish ([], init))
   else begin
     Queue.push init q;
     let result = ref None in
@@ -97,7 +164,7 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
          let k = State.key st in
          List.iter
            (fun step ->
-             let st' = State.apply st step in
+             let st', moved = norm (State.apply st step) in
              if restrict st' then begin
                let k' = State.key st' in
                if not (Hashtbl.mem table k') then begin
@@ -105,8 +172,9 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
                  Hashtbl.replace table k'
                    { state = st'; parent = Some k; via = Some step };
                  Obs.visit ();
+                 Obs.hit moved;
                  if found st' then begin
-                   result := Some (Option.get (path_to sp k'), st');
+                   result := Some (finish (Option.get (path_to sp k'), st'));
                    raise Exit
                  end;
                  Queue.push st' q
@@ -118,15 +186,18 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true) sys ~found =
     !result
   end
 
-let find_deadlock ?max_states sys =
-  let r = bfs ?max_states sys ~found:(fun st -> State.is_deadlock sys st) in
+let find_deadlock ?max_states ?symmetry sys =
+  let r =
+    bfs ?max_states ?symmetry sys ~found:(fun st -> State.is_deadlock sys st)
+  in
   if r <> None then begin
     Ddlock_obs.Metrics.Counter.incr Obs.deadlock_witnesses;
     Obs.T.instant "explore.deadlock_witness"
   end;
   r
 
-let deadlock_free ?max_states sys = find_deadlock ?max_states sys = None
+let deadlock_free ?max_states ?symmetry sys =
+  find_deadlock ?max_states ?symmetry sys = None
 
 type counterexample = { steps : Step.t list; cycle : int list }
 

@@ -20,26 +20,52 @@ val default_cap : int
 
 type space
 
-(** [explore ?max_states sys] computes the reachable state space with
-    parent pointers.  Default cap: {!default_cap} states. *)
-val explore : ?max_states:int -> System.t -> space
+(** [explore ?max_states ?symmetry sys] computes the reachable state
+    space with parent pointers.  Default cap: {!default_cap} states.
+
+    With [~symmetry:true] the space is the {e quotient} under the
+    automorphism group of identical-transaction permutations
+    ({!Canon.detect}): only orbit representatives are stored, and a
+    successor that lands in an already-stored orbit is deduplicated
+    {e before} the cap check, so pruned orbit members never count
+    against [max_states].  When the group is trivial this is exactly
+    the plain exploration. *)
+val explore : ?max_states:int -> ?symmetry:bool -> System.t -> space
 
 val system : space -> System.t
 val state_count : space -> int
+
+(** Stored states: all reachable states, or one representative per
+    reachable orbit for a [~symmetry:true] space. *)
 val states : space -> State.t Seq.t
+
+(** Membership (of the state's orbit, for a symmetric space). *)
 val is_reachable : space -> State.t -> bool
 
-(** A (shortest) partial schedule realizing a reachable state. *)
+(** A (shortest) partial schedule realizing a reachable state.  For a
+    symmetric space the stored canonical path is replayed through the
+    orbit permutations, so the schedule reaches exactly [st] (any orbit
+    member may be asked for). *)
 val schedule_to : space -> State.t -> Step.t list option
+
+(** The canonicalizer a symmetric search uses: [None] when [symmetry] is
+    false or the automorphism group of [sys] is trivial.  Exposed for the
+    parallel engine and the CLI no-op warning. *)
+val active_canon : symmetry:bool -> System.t -> Canon.t option
 
 (** {1 Goal-directed search} *)
 
-(** [bfs ?max_states ?restrict sys ~found] — first state in BFS
-    insertion order satisfying [found] (among states satisfying
-    [restrict]), with the schedule reaching it. *)
+(** [bfs ?max_states ?restrict ?symmetry sys ~found] — first state in
+    BFS insertion order satisfying [found] (among states satisfying
+    [restrict]), with the schedule reaching it.  With [~symmetry:true]
+    the search runs over orbit representatives — [found] and [restrict]
+    must be invariant under identical-transaction permutations — and the
+    returned schedule/state are translated back to the original system
+    (the schedule is legal for [sys] and reaches the returned state). *)
 val bfs :
   ?max_states:int ->
   ?restrict:(State.t -> bool) ->
+  ?symmetry:bool ->
   System.t ->
   found:(State.t -> bool) ->
   (Step.t list * State.t) option
@@ -47,9 +73,10 @@ val bfs :
 (** {1 Deadlock (Theorem 1 ground truth)} *)
 
 (** First deadlock state found, with a partial schedule reaching it. *)
-val find_deadlock : ?max_states:int -> System.t -> (Step.t list * State.t) option
+val find_deadlock :
+  ?max_states:int -> ?symmetry:bool -> System.t -> (Step.t list * State.t) option
 
-val deadlock_free : ?max_states:int -> System.t -> bool
+val deadlock_free : ?max_states:int -> ?symmetry:bool -> System.t -> bool
 
 (** {1 Safety and Lemma 1} *)
 
@@ -59,7 +86,10 @@ type counterexample = {
 }
 
 (** Lemma 1 decider: [Error cex] when some partial schedule has a cyclic
-    serialization digraph (system is not safe ∧ deadlock-free). *)
+    serialization digraph (system is not safe ∧ deadlock-free).  The
+    Lemma-1 searches run over the extended (prefix vector + D-arc)
+    space, which has no cheap orbit canonicalization, so they take no
+    [?symmetry] parameter. *)
 val safe_and_deadlock_free :
   ?max_states:int -> System.t -> (unit, counterexample) result
 

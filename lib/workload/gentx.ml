@@ -82,6 +82,51 @@ let random_system rng db ~txns ~entities_per_txn ~density =
            ~entities:(random_entity_subset rng db ~k:entities_per_txn)
            ~density))
 
+(* Shared small-system generators for the differential test batteries,
+   the fuzzer and the benches (one audited generator instead of a
+   hand-rolled copy per consumer).  Unspecified parameters are drawn
+   from the rng, so the default call covers a spread of shapes. *)
+let small_random_pair ?sites ?entities ?density rng =
+  let draw v f = match v with Some v -> v | None -> f () in
+  let sites = draw sites (fun () -> 1 + Random.State.int rng 3) in
+  let entities = draw entities (fun () -> 2 + Random.State.int rng 3) in
+  let db = random_db ~sites ~entities in
+  let density = draw density (fun () -> Random.State.float rng 0.5) in
+  let k1 = 1 + Random.State.int rng entities in
+  let k2 = 1 + Random.State.int rng entities in
+  let e1 = random_entity_subset rng db ~k:k1 in
+  let e2 = random_entity_subset rng db ~k:k2 in
+  let t1 = random_transaction rng db ~entities:e1 ~density in
+  let t2 = random_transaction rng db ~entities:e2 ~density in
+  System.create [ t1; t2 ]
+
+let small_random_system ?sites ?entities ?density rng ~txns =
+  let draw v f = match v with Some v -> v | None -> f () in
+  let sites = draw sites (fun () -> 1 + Random.State.int rng 2) in
+  let entities = draw entities (fun () -> 2 + Random.State.int rng 2) in
+  let db = random_db ~sites ~entities in
+  let density = draw density (fun () -> Random.State.float rng 0.5) in
+  System.create
+    (List.init txns (fun _ ->
+         let k = 1 + Random.State.int rng entities in
+         random_transaction rng db ~entities:(random_entity_subset rng db ~k)
+           ~density))
+
+let random_copies_system ?(extra = false) rng ~copies =
+  if copies < 1 then invalid_arg "Gentx.random_copies_system: copies < 1";
+  let sites = 1 + Random.State.int rng 2 in
+  let entities = 2 + Random.State.int rng 2 in
+  let db = random_db ~sites ~entities in
+  let density = Random.State.float rng 0.5 in
+  let mk () =
+    random_transaction rng db
+      ~entities:(random_entity_subset rng db ~k:(1 + Random.State.int rng entities))
+      ~density
+  in
+  let base = mk () in
+  let txns = List.init copies (fun _ -> base) in
+  System.create (if extra then txns @ [ mk () ] else txns)
+
 let two_phase_pair db names =
   (Builder.two_phase_chain db names, Builder.two_phase_chain db names)
 

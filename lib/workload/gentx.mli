@@ -40,6 +40,34 @@ val random_system :
   density:float ->
   System.t
 
+(** [small_random_pair rng] — a 2-transaction system over a small random
+    schema, sized for exhaustive ground-truth comparison.  Unspecified
+    parameters are drawn from the rng: sites ∈ [1,3], entities ∈ [2,4],
+    density ∈ [0,0.5); each transaction accesses a random non-empty
+    entity subset.  The one audited generator behind the differential
+    test batteries, the fuzzer and the benches. *)
+val small_random_pair :
+  ?sites:int -> ?entities:int -> ?density:float -> Random.State.t -> System.t
+
+(** [small_random_system rng ~txns] — like {!small_random_pair} with
+    [txns] transactions over a smaller default schema (sites ∈ [1,2],
+    entities ∈ [2,3]). *)
+val small_random_system :
+  ?sites:int ->
+  ?entities:int ->
+  ?density:float ->
+  Random.State.t ->
+  txns:int ->
+  System.t
+
+(** [random_copies_system rng ~copies] — [copies] physically identical
+    copies of one small random transaction (a non-trivial automorphism
+    group for [copies >= 2], cf. {!Ddlock_schedule.Canon}); with
+    [~extra:true] one additional independent random transaction over the
+    same schema is appended. *)
+val random_copies_system :
+  ?extra:bool -> Random.State.t -> copies:int -> System.t
+
 (** [two_phase_pair db names] — both transactions lock [names] in the
     given order, 2PL-style; safe ∧ deadlock-free by Theorem 3. *)
 val two_phase_pair : Db.t -> string list -> Transaction.t * Transaction.t

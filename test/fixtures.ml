@@ -27,28 +27,7 @@ let rng seed = Random.State.make [| seed; 0xddf0c |]
 let to_alcotest test =
   QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed2026 |]) test
 
-(* Small random systems for ground-truth comparisons. *)
-let small_random_pair st =
-  let sites = 1 + Random.State.int st 3 in
-  let entities = 2 + Random.State.int st 3 in
-  let db = Ddlock_workload.Gentx.random_db ~sites ~entities in
-  let density = Random.State.float st 0.5 in
-  let k1 = 1 + Random.State.int st entities in
-  let k2 = 1 + Random.State.int st entities in
-  let e1 = Ddlock_workload.Gentx.random_entity_subset st db ~k:k1 in
-  let e2 = Ddlock_workload.Gentx.random_entity_subset st db ~k:k2 in
-  let t1 = Ddlock_workload.Gentx.random_transaction st db ~entities:e1 ~density in
-  let t2 = Ddlock_workload.Gentx.random_transaction st db ~entities:e2 ~density in
-  System.create [ t1; t2 ]
-
-let small_random_system st ~txns =
-  let sites = 1 + Random.State.int st 2 in
-  let entities = 2 + Random.State.int st 2 in
-  let db = Ddlock_workload.Gentx.random_db ~sites ~entities in
-  let density = Random.State.float st 0.5 in
-  System.create
-    (List.init txns (fun _ ->
-         let k = 1 + Random.State.int st entities in
-         Ddlock_workload.Gentx.random_transaction st db
-           ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k)
-           ~density))
+(* Small random systems for ground-truth comparisons — the shared
+   generators live in Workload.Gentx (also used by fuzz and bench). *)
+let small_random_pair st = Ddlock_workload.Gentx.small_random_pair st
+let small_random_system st ~txns = Ddlock_workload.Gentx.small_random_system st ~txns

@@ -131,19 +131,11 @@ let tirri_centralized_prop =
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let st = Fixtures.rng seed in
-      let db = Ddlock_workload.Gentx.random_db ~sites:1 ~entities:4 in
-      let k () = 1 + Random.State.int st 4 in
-      let t1 =
-        Ddlock_workload.Gentx.random_transaction st db
-          ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k:(k ()))
-          ~density:0.3
+      let sys =
+        Ddlock_workload.Gentx.small_random_pair ~sites:1 ~entities:4
+          ~density:0.3 st
       in
-      let t2 =
-        Ddlock_workload.Gentx.random_transaction st db
-          ~entities:(Ddlock_workload.Gentx.random_entity_subset st db ~k:(k ()))
-          ~density:0.3
-      in
-      let sys = System.create [ t1; t2 ] in
+      let t1 = System.txn sys 0 and t2 = System.txn sys 1 in
       QCheck.assume (Tirri.claims_deadlock_free t1 t2);
       Explore.deadlock_free sys)
 
@@ -166,15 +158,10 @@ let extension_reduction_prop =
     (fun seed ->
       let st = Fixtures.rng seed in
       (* Keep transactions tiny: extension enumeration is factorial. *)
-      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:2 in
-      let mk () =
-        Ddlock_workload.Gentx.random_transaction st db
-          ~entities:
-            (Ddlock_workload.Gentx.random_entity_subset st db
-               ~k:(1 + Random.State.int st 2))
-          ~density:0.3
+      let sys =
+        Ddlock_workload.Gentx.small_random_system ~sites:2 ~entities:2
+          ~density:0.3 st ~txns:2
       in
-      let sys = System.create [ mk (); mk () ] in
       QCheck.assume (not (Explore.deadlock_free sys));
       Theorem1.extension_pair_deadlocks sys)
 
@@ -221,15 +208,10 @@ let kp2_safety_reduction_prop =
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let st = Fixtures.rng seed in
-      let db = Ddlock_workload.Gentx.random_db ~sites:2 ~entities:2 in
-      let mk () =
-        Ddlock_workload.Gentx.random_transaction st db
-          ~entities:
-            (Ddlock_workload.Gentx.random_entity_subset st db
-               ~k:(1 + Random.State.int st 2))
-          ~density:0.3
+      let sys =
+        Ddlock_workload.Gentx.small_random_system ~sites:2 ~entities:2
+          ~density:0.3 st ~txns:2
       in
-      let sys = System.create [ mk (); mk () ] in
       Result.is_ok (Explore.safe sys) = Theorem1.extension_pairs_all_safe sys)
 
 let qtests =

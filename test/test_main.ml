@@ -6,6 +6,7 @@ let () =
       ("schedule", Test_schedule.suite);
       ("deadlock", Test_deadlock.suite);
       ("par", Test_par.suite);
+      ("sym", Test_sym.suite);
       ("safety", Test_safety.suite);
       ("conp", Test_conp.suite);
       ("sim", Test_sim.suite);
