@@ -15,7 +15,7 @@
    Run with:  dune exec bench/main.exe                 (everything)
               dune exec bench/main.exe -- SECTION...   (a subset)
    Sections: agreement micro theorem4 exhaustive sim crossover recovery
-             faults sm geometry rw par obs sym
+             faults sm geometry rw par obs sym serve
 *)
 
 open Bechamel
@@ -693,6 +693,136 @@ let sym () =
   Format.printf "  wrote BENCH_sym.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Analysis daemon: served latency and verdict-cache collapse          *)
+(* ------------------------------------------------------------------ *)
+
+let json_counter key s =
+  (* Extract ["key": N] from the daemon's one-line stats JSON. *)
+  let needle = Printf.sprintf "\"%s\": " key in
+  let nl = String.length needle and n = String.length s in
+  let rec find i =
+    if i + nl > n then None
+    else if String.sub s i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> 0
+  | Some i ->
+      let j = ref i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      int_of_string (String.sub s i (!j - i))
+
+let serve_bench () =
+  header "E23 analysis daemon: served latency, cache collapse, zipf workload";
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddlock-bench-%d.sock" (Unix.getpid ()))
+  in
+  let t =
+    Ddlock_serve.Server.start
+      { (Ddlock_serve.Server.default_config ~socket_path:socket) with
+        Ddlock_serve.Server.cache_cap = 256 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Ddlock_serve.Server.request_stop t;
+      Ddlock_serve.Server.wait t)
+  @@ fun () ->
+  let analyze source =
+    let t0 = Unix.gettimeofday () in
+    match Ddlock_serve.Client.analyze ~socket source with
+    | Ok (Ddlock_serve.Client.Verdict _) -> (Unix.gettimeofday () -. t0) *. 1000.0
+    | _ -> failwith "bench serve: daemon did not return a verdict"
+  in
+  (* K-copies workload: many clients submitting permuted renderings of
+     the same few copies-of-a-ring systems.  Canon.system_key collapses
+     the permutations, so everything after the first sighting of each
+     shape must be a cache hit (the ISSUE floor is a 90% hit rate). *)
+  let st = rng 23 in
+  let bases =
+    [
+      System.copies (Workload.Gentx.guard_ring 3) 2;
+      System.copies (Workload.Gentx.guard_ring 3) 3;
+      System.copies (Workload.Gentx.guard_ring 4) 2;
+    ]
+  in
+  let permuted_source sys =
+    let named =
+      Array.of_list
+        (List.mapi
+           (fun i txn -> (Printf.sprintf "T%d" (i + 1), txn))
+           (Array.to_list (System.txns sys)))
+    in
+    (* Shuffle which copy gets which name: a different source text with
+       the same structural key. *)
+    let txns = Array.map snd named in
+    for i = Array.length txns - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = txns.(i) in
+      txns.(i) <- txns.(j);
+      txns.(j) <- tmp
+    done;
+    Model.Parser.to_source (System.db sys)
+      (Array.to_list (Array.mapi (fun i txn -> (fst named.(i), txn)) txns))
+  in
+  let requests = 48 in
+  let lat = Array.make requests 0.0 in
+  for i = 0 to requests - 1 do
+    lat.(i) <- analyze (permuted_source (List.nth bases (i mod List.length bases)))
+  done;
+  let stats = Ddlock_serve.Server.stats_json t in
+  let hits = json_counter "cache_hits" stats in
+  let misses = json_counter "cache_misses" stats in
+  let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let miss_lat = Array.sub lat 0 (List.length bases) in
+  let hit_lat = Array.sub lat (List.length bases) (requests - List.length bases) in
+  Format.printf
+    "  k-copies stream: %d requests over %d shapes: %d hits / %d misses \
+     (%.0f%% hit rate)@."
+    requests (List.length bases) hits misses (100.0 *. hit_rate);
+  Format.printf "  mean served latency: %.2f ms cold, %.3f ms cached@."
+    (mean miss_lat) (mean hit_lat);
+  assert (hit_rate >= 0.9);
+  (* Zipf hotspot workload: fresh systems (all cache misses) across the
+     contention spectrum, uniform to heavily skewed. *)
+  let zipf_rows =
+    List.map
+      (fun theta ->
+        let sys =
+          Workload.Gentx.zipf_system st ~sites:2 ~entities:5 ~txns:4 ~theta
+        in
+        let ms = analyze (Model.Parser.to_source (System.db sys)
+                            (List.mapi (fun i txn -> (Printf.sprintf "T%d" (i + 1), txn))
+                               (Array.to_list (System.txns sys))))
+        in
+        Format.printf "  zipf theta=%-4.1f served in %.2f ms@." theta ms;
+        (theta, ms))
+      [ 0.0; 0.8; 1.5 ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"bench\": \"serve\",\n  \"kcopies\": { \"requests\": %d, \
+        \"shapes\": %d, \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f, \
+        \"cold_ms\": %.3f, \"cached_ms\": %.4f },\n  \"zipf\": ["
+       requests (List.length bases) hits misses hit_rate (mean miss_lat)
+       (mean hit_lat));
+  List.iteri
+    (fun i (theta, ms) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"theta\": %.1f, \"ms\": %.3f }" theta ms))
+    zipf_rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_serve.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Read/write modes: readers-share speedup                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,6 +877,7 @@ let () =
       ("par", par);
       ("obs", obs);
       ("sym", sym);
+      ("serve", serve_bench);
     ]
   in
   let requested =

@@ -156,23 +156,11 @@ let analyze_cmd =
     let r = load file in
     let sys = Parser.system_of_result r in
     check_symmetry ~symmetry sys;
-    let report = Analysis.report ~max_states ~jobs ~symmetry sys in
-    Format.printf "%a@." (Analysis.pp_report sys) report;
-    (match report.Analysis.deadlock with
-    | Analysis.Deadlocks { schedule; _ } ->
-        Format.printf "@.how the deadlock happens:@.%a@."
-          (Sched.Narrate.pp sys)
-          schedule;
-        List.iter
-          (fun line -> Format.printf "%s@." line)
-          (List.filteri
-             (fun i _ -> i >= List.length schedule + 1)
-             (Sched.Narrate.explain_deadlock sys schedule))
-    | _ -> ());
-    match (report.Analysis.safety, report.Analysis.deadlock) with
-    | Analysis.Safe_and_deadlock_free, _ -> exit 0
-    | _, Analysis.Deadlocks _ -> exit 1
-    | _ -> exit 1
+    let text, status, _report =
+      Analysis.render_full ~max_states ~jobs ~symmetry sys
+    in
+    print_string text;
+    exit status
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -493,9 +481,11 @@ let recover_cmd =
                ("wound-wait", Sim.Recovery.Wound_wait);
                ("detect", Sim.Recovery.Detect { period = 5.0 });
                ("timeout", Sim.Recovery.default_timeout);
+               ("probabilistic", Sim.Recovery.Probabilistic);
              ])
           Sim.Recovery.Wound_wait
-      & info [ "scheme" ] ~doc:"wait-die | wound-wait | detect | timeout")
+      & info [ "scheme" ]
+          ~doc:"wait-die | wound-wait | detect | timeout | probabilistic")
   in
   let runs_arg =
     Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of executions.")
@@ -539,7 +529,8 @@ let chaos_cmd =
                   (fun (n, s) -> (n, Some (n, s)))
                   Sim.Chaos.default_schemes))
           None
-      & info [ "scheme" ] ~doc:"all | wait-die | wound-wait | detect | timeout")
+      & info [ "scheme" ]
+          ~doc:"all | wait-die | wound-wait | detect | timeout | probabilistic")
   in
   let run file runs seed intensity horizon scheme stats trace =
     obs_start ~stats ~trace;
@@ -564,6 +555,182 @@ let chaos_cmd =
     Term.(
       const run $ file_arg $ runs_arg $ seed_arg $ intensity_arg $ horizon_arg
       $ scheme_arg $ stats_arg $ trace_arg)
+
+(* ------------------------------- serve ----------------------------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+       ~doc:"Unix-domain socket path of the analysis daemon.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ]
+         ~doc:"Worker domains running analyses.")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 16 & info [ "queue-cap" ]
+         ~doc:"Admission-queue bound; a full queue answers 'busy'.")
+  in
+  let cache_cap_arg =
+    Arg.(value & opt int 128 & info [ "cache-cap" ]
+         ~doc:"LRU verdict-cache entries (0 disables the cache).")
+  in
+  let max_request_arg =
+    Arg.(value & opt int Ddlock_serve.Protocol.default_max_request
+         & info [ "max-request-bytes" ]
+           ~doc:"Reject analyze bodies larger than this.")
+  in
+  let serve_max_states_arg =
+    Arg.(value & opt (some int) None & info [ "max-states" ]
+         ~doc:"Default state budget for requests that name none.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ]
+         ~doc:"Default per-request deadline for requests that name none.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt int 5_000 & info [ "idle-timeout-ms" ]
+         ~doc:"Per-read deadline on client sockets (slowloris guard).")
+  in
+  let run socket workers queue_cap cache_cap max_request_bytes
+      default_max_states default_deadline_ms jobs idle_timeout_ms stats trace =
+    check_jobs jobs;
+    if workers < 1 then begin
+      Format.eprintf "ddlock: --workers must be >= 1 (got %d)@." workers;
+      exit 2
+    end;
+    obs_start ~stats ~trace;
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cfg =
+      {
+        (Ddlock_serve.Server.default_config ~socket_path:socket) with
+        Ddlock_serve.Server.workers;
+        queue_cap;
+        cache_cap;
+        max_request_bytes;
+        default_max_states;
+        default_deadline_ms;
+        jobs;
+        idle_timeout_ms;
+      }
+    in
+    let t =
+      match Ddlock_serve.Server.start cfg with
+      | t -> t
+      | exception Failure msg ->
+          Format.eprintf "ddlock: %s@." msg;
+          exit 2
+      | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "ddlock: %s: %s@." socket (Unix.error_message e);
+          exit 2
+    in
+    let stop _ = Ddlock_serve.Server.request_stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Format.eprintf "ddlock: serving on %s (workers=%d queue=%d cache=%d)@."
+      socket workers queue_cap cache_cap;
+    Ddlock_serve.Server.wait t;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon on a Unix-domain socket: cached verdicts, \
+          bounded admission with busy backpressure, per-request deadlines, \
+          graceful drain on SIGTERM/SIGINT.")
+    Term.(
+      const run $ socket_arg $ workers_arg $ queue_cap_arg $ cache_cap_arg
+      $ max_request_arg $ serve_max_states_arg $ deadline_arg $ jobs_arg
+      $ idle_timeout_arg $ stats_arg $ trace_arg)
+
+(* ------------------------------ request ---------------------------- *)
+
+let request_cmd =
+  let file_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Transaction-system source file to analyze.")
+  in
+  let req_max_states_arg =
+    Arg.(value & opt (some int) None & info [ "max-states" ]
+         ~doc:"State budget for this request.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ]
+         ~doc:"Deadline for this request; exceeding it exits 4.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check only.")
+  in
+  let req_stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's counters.")
+  in
+  let raw_arg =
+    Arg.(value & opt (some string) None & info [ "raw" ] ~docv:"LINE"
+         ~doc:"Debugging: send $(docv) verbatim (newline appended) and \
+               print whatever comes back; exits 2 on an error reply.")
+  in
+  let run socket file max_states symmetry deadline_ms ping stats raw =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fail err =
+      Format.eprintf "ddlock: %a@." Ddlock_serve.Client.pp_error err;
+      exit 2
+    in
+    let finish = function
+      | Ddlock_serve.Client.Verdict { status; body } ->
+          print_string body;
+          exit status
+      | Ddlock_serve.Client.Busy { retry_after_ms } ->
+          Format.eprintf "ddlock: server busy (retry after %dms)@."
+            retry_after_ms;
+          exit 3
+      | Ddlock_serve.Client.Timeout ->
+          Format.eprintf "ddlock: request deadline exceeded@.";
+          exit 4
+      | Ddlock_serve.Client.Server_error msg ->
+          Format.eprintf "ddlock: server error: %s@." msg;
+          exit 2
+      | Ddlock_serve.Client.Pong ->
+          print_endline "pong";
+          exit 0
+    in
+    match (raw, ping, stats, file) with
+    | Some line, _, _, _ -> (
+        match Ddlock_serve.Client.raw ~socket (line ^ "\n") with
+        | Error err -> fail err
+        | Ok reply ->
+            print_string reply;
+            exit (if String.length reply >= 5 && String.sub reply 0 5 = "error"
+                  then 2 else 0))
+    | None, true, _, _ -> (
+        match Ddlock_serve.Client.ping ~socket with
+        | Error err -> fail err
+        | Ok reply -> finish reply)
+    | None, false, true, _ -> (
+        match Ddlock_serve.Client.stats ~socket with
+        | Error err -> fail err
+        | Ok reply -> finish reply)
+    | None, false, false, Some file -> (
+        let source = read_file file in
+        match
+          Ddlock_serve.Client.analyze ~socket ?max_states ~symmetry
+            ?deadline_ms source
+        with
+        | Error err -> fail err
+        | Ok reply -> finish reply)
+    | None, false, false, None ->
+        Format.eprintf
+          "ddlock: request needs a FILE (or --ping, --stats, --raw)@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Submit a system to a running analysis daemon and print its verdict \
+          (exit status: 0 safe, 1 unsafe/deadlocks, 2 errors, 3 busy, \
+          4 deadline exceeded).")
+    Term.(
+      const run $ socket_arg $ file_opt_arg $ req_max_states_arg
+      $ symmetry_arg $ deadline_arg $ ping_arg $ req_stats_arg $ raw_arg)
 
 (* ------------------------------ replay ----------------------------- *)
 
@@ -640,4 +807,6 @@ let () =
             repair_cmd;
             minimize_cmd;
             replay_cmd;
+            serve_cmd;
+            request_cmd;
           ]))

@@ -82,7 +82,14 @@ let report ?max_states ?jobs ?symmetry sys =
     all_two_phase =
       Array.for_all Transaction.is_two_phase (System.txns sys);
     interaction_edges = Ungraph.edge_count g;
-    interaction_cycles = Seq.length (Ungraph.cycles g);
+    interaction_cycles =
+      (* Cycle enumeration can be exponential in dense graphs; polling
+         per cycle lets a serve-side deadline bound the report. *)
+      Seq.fold_left
+        (fun acc _ ->
+          Ddlock_obs.Cancel.poll ();
+          acc + 1)
+        0 (Ungraph.cycles g);
     safety = safe_and_deadlock_free sys;
     deadlock = deadlock_free ?max_states ?jobs ?symmetry sys;
   }
@@ -157,3 +164,31 @@ let pp_report sys ppf r =
     r.interaction_edges r.interaction_cycles
     (pp_safety_verdict sys) r.safety
     (pp_deadlock_verdict sys) r.deadlock
+
+(* The canonical rendering of a full analysis: exactly what [ddlock
+   analyze] prints on stdout, byte for byte — the CLI prints this
+   string verbatim, and the serve daemon caches it, so served verdicts
+   stay diffable against the CLI by construction. *)
+let render_full ?max_states ?jobs ?symmetry sys =
+  let r = report ?max_states ?jobs ?symmetry sys in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@." (pp_report sys) r;
+  (match r.deadlock with
+  | Deadlocks { schedule; _ } ->
+      Format.fprintf ppf "@.how the deadlock happens:@.%a@."
+        (Narrate.pp sys) schedule;
+      List.iter
+        (fun line -> Format.fprintf ppf "%s@." line)
+        (List.filteri
+           (fun i _ -> i >= List.length schedule + 1)
+           (Narrate.explain_deadlock sys schedule))
+  | _ -> ());
+  Format.pp_print_flush ppf ();
+  let status =
+    match (r.safety, r.deadlock) with
+    | Safe_and_deadlock_free, _ -> 0
+    | _, Deadlocks _ -> 1
+    | _ -> 1
+  in
+  (Buffer.contents buf, status, r)

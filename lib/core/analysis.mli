@@ -69,6 +69,20 @@ val report : ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> repor
 
 val pp_report : System.t -> Format.formatter -> report -> unit
 
+(** [render_full ?max_states ?jobs ?symmetry sys] is
+    [(text, status, report)]: the exact bytes [ddlock analyze] prints
+    on stdout for [sys] (report plus, for a [Deadlocks] verdict, the
+    narrated schedule and explanation), together with the process exit
+    status the CLI uses ([0] iff safe ∧ deadlock-free, else [1]).  The
+    CLI and the serve daemon both call this, which is what makes served
+    verdicts byte-equivalent to local analysis. *)
+val render_full :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  System.t ->
+  string * int * report
+
 (** {1 Pair counterexamples}
 
     A failing Theorem 3 verdict is backed by a replayable witness: a

@@ -1,0 +1,17 @@
+exception Cancelled
+
+(* One mutable slot per domain: engines poll from the domain that runs
+   them, so no synchronization is needed beyond domain-local state. *)
+let slot : (unit -> bool) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_poll f body =
+  let r = Domain.DLS.get slot in
+  let saved = !r in
+  r := Some f;
+  Fun.protect ~finally:(fun () -> r := saved) body
+
+let poll () =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some f -> if f () then raise Cancelled

@@ -1,0 +1,27 @@
+(** Cooperative cancellation for long-running analyses.
+
+    A per-domain poll function, installed for the duration of a
+    computation; the exploration engines and candidate enumerations call
+    {!poll} on their budget path (the same place the [max_states] cap is
+    enforced), so an installed poll bounds a search in {e time} exactly
+    as [max_states] bounds it in {e space}.  This is what lets the
+    analysis daemon ({!Ddlock_serve}) enforce per-request deadlines:
+    a worker installs a deadline poll, runs the analysis, and maps the
+    resulting {!Cancelled} into a [timeout] reply instead of hanging the
+    connection.
+
+    The poll slot is domain-local, so concurrent worker domains cancel
+    independently; with no poll installed (the default), {!poll} is a
+    single domain-local read. *)
+
+exception Cancelled
+
+val with_poll : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_poll f body] installs [f] as the current domain's poll for the
+    duration of [body] (restoring the previous poll on exit, normal or
+    exceptional).  While installed, any {!poll} call for which [f ()]
+    returns [true] raises {!Cancelled}. *)
+
+val poll : unit -> unit
+(** Raise {!Cancelled} iff an installed poll function returns [true].
+    Safe to call on hot paths. *)

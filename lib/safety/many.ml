@@ -105,6 +105,7 @@ let failing_pair sys =
     else if j >= n then go (i + 1) (i + 2)
     else
       let ti = System.txn sys i and tj = System.txn sys j in
+      Ddlock_obs.Cancel.poll ();
       if Pair.has_common ti tj then
         match Pair.check ti tj with
         | Ok () -> go i (j + 1)
@@ -122,6 +123,10 @@ let check sys =
       (try
          Seq.iter
            (fun cycle ->
+             (* Candidate enumeration can be exponential in the cycle
+                count; the poll lets a deadline bound it like the
+                exhaustive searches. *)
+             Ddlock_obs.Cancel.poll ();
              let k = List.length cycle in
              for r = 0 to k - 1 do
                match !result with

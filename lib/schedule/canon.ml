@@ -20,6 +20,25 @@ let structural_key tx =
     List.sort compare
       (Digraph.edges (Closure.closure_graph (Transaction.given_arcs tx))) )
 
+(* Semantic cache key: schema (with names — verdict texts print them)
+   plus the in-order transaction structural keys.  Interchangeable
+   transactions have {e equal} structural keys, so the key is invariant
+   under permuting them — the K-copies systems identical clients submit
+   all collapse onto one digest — while systems differing in any way
+   that can change a rendered verdict (names, placement, the order of
+   {e distinct} transactions) get distinct digests. *)
+let system_key sys =
+  let db = System.db sys in
+  let schema =
+    List.init (Db.site_count db) (fun s ->
+        ( Db.site_name db s,
+          List.map (Db.entity_name db) (Db.entities_of_site db s) ))
+  in
+  let txns =
+    List.map structural_key (Array.to_list (System.txns sys))
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string (schema, txns) []))
+
 let detect sys =
   let n = System.size sys in
   let tbl = Hashtbl.create 7 in

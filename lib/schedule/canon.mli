@@ -32,6 +32,17 @@ val detect : System.t -> t
 
 val system : t -> System.t
 
+(** Structural hash of a whole system, for semantic caching (the
+    analysis daemon's verdict cache).  Two systems get equal keys iff
+    they have the same named schema (site and entity names, placement)
+    and transaction lists equal up to permuting {e interchangeable}
+    transactions (the classes of {!detect}) — the automorphisms the
+    quotient search exploits.  In particular the K-copies systems that
+    many identical clients generate all share one key, while any
+    difference that can change a rendered verdict (names, placement,
+    the order of distinct transactions) yields a distinct key. *)
+val system_key : System.t -> string
+
 (** Whether any class has ≥ 2 members (i.e. the group is non-trivial).
     When [false], canonicalization is the identity and symmetry-aware
     searches fall back to the plain engines. *)

@@ -63,8 +63,12 @@ let default_cap = 2_000_000
 
 (* Exact cap: a search may hold at most [max_states] states; discovering
    one more raises [Too_large] with the number already held.  The check
-   covers the initial state too, so the table never exceeds the budget. *)
+   covers the initial state too, so the table never exceeds the budget.
+   The cancellation poll rides the same path: an installed deadline
+   bounds the search in time exactly as [max_states] bounds it in
+   space (one domain-local read per insertion when no poll is set). *)
 let check_room count max_states =
+  Ddlock_obs.Cancel.poll ();
   if count >= max_states then raise (Too_large count)
 
 let explore ?(max_states = default_cap) ?(symmetry = false) sys =

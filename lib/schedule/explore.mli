@@ -18,6 +18,14 @@ exception Too_large of int
 val default_cap : int
 (** Default [max_states] budget (2_000_000 states). *)
 
+(** {2 Cancellation}
+
+    Every search polls {!Ddlock_obs.Cancel} on its budget path (the
+    state-insertion cap check), so a poll installed with
+    [Ddlock_obs.Cancel.with_poll] — e.g. a deadline — aborts the search
+    with [Ddlock_obs.Cancel.Cancelled] between state insertions.  With
+    no poll installed the cost is one domain-local read per state. *)
+
 type space
 
 (** [explore ?max_states ?symmetry sys] computes the reachable state

@@ -1,0 +1,27 @@
+(** Thread-safe LRU verdict cache.
+
+    Keys are the {!Ddlock.Sched.Canon.system_key} structural digests
+    (salted with the analysis parameters), so the daemon answers
+    repeated — and symmetric-permuted — submissions without re-running
+    the analysis.  All operations take one mutex; the critical sections
+    are O(1) (hash table + intrusive doubly-linked recency list), so the
+    lock is uncontended even under the chaos battery. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] degenerates to a cache that stores nothing (every
+    lookup misses) — useful for measuring the uncached path. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or overwrite) an entry, evicting the least-recently-used
+    entry when over capacity. *)
+
+val length : 'a t -> int
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int

@@ -1,0 +1,39 @@
+(** Blocking client for the analysis daemon (used by [ddlock request],
+    the chaos battery and the serve benchmark). *)
+
+type reply =
+  | Verdict of { status : int; body : string }
+  | Busy of { retry_after_ms : int }
+  | Timeout
+  | Server_error of string
+  | Pong
+
+(** Errors raised before a well-formed reply arrives. *)
+type error =
+  | Connect of string  (** socket missing / refused / not a socket *)
+  | Io of string  (** connection died or stalled mid-reply *)
+  | Malformed of string  (** the peer is not speaking the protocol *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val analyze :
+  socket:string ->
+  ?max_states:int ->
+  ?symmetry:bool ->
+  ?deadline_ms:int ->
+  string ->
+  (reply, error) result
+(** [analyze ~socket source] submits the system source (the
+    [ddlock analyze] input format) and waits for the reply.  One
+    connection per call. *)
+
+val ping : socket:string -> (reply, error) result
+
+val stats : socket:string -> (reply, error) result
+(** The daemon's {!Server.stats_json} counters as a {!Verdict} body. *)
+
+val raw : socket:string -> string -> (string, error) result
+(** Send [bytes] verbatim and return everything the server sends back
+    until it closes the connection — the chaos battery's hammer for
+    malformed frames.  A read timeout (server kept the connection open)
+    also returns the bytes received so far. *)

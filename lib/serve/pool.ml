@@ -1,0 +1,99 @@
+module Cell = struct
+  type 'a t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable v : 'a option;
+  }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    (match t.v with
+    | None ->
+        t.v <- Some v;
+        Condition.broadcast t.c
+    | Some _ -> ());
+    Mutex.unlock t.m
+
+  let wait t =
+    Mutex.lock t.m;
+    let rec go () =
+      match t.v with
+      | Some v ->
+          Mutex.unlock t.m;
+          v
+      | None ->
+          Condition.wait t.c t.m;
+          go ()
+    in
+    go ()
+end
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  queue_cap : int;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Workers drain the queue even while [stopping] — graceful shutdown
+   runs every accepted job — and exit only on (empty ∧ stopping). *)
+let rec worker t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    (try job () with _ -> ());
+    worker t
+  end
+
+let create ~workers ~queue_cap =
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      queue_cap = max 0 queue_cap;
+      stopping = false;
+      joined = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let accepted =
+    (not t.stopping) && Queue.length t.queue < t.queue_cap
+  in
+  if accepted then begin
+    Queue.push job t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let queue_length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  let join = not t.joined in
+  t.joined <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  if join then List.iter Domain.join t.domains

@@ -1,0 +1,41 @@
+(** Bounded worker pool on OCaml 5 domains.
+
+    Connection threads (systhreads on the main domain) submit jobs; a
+    fixed set of worker {e domains} pops and runs them, so analyses of
+    concurrent requests run in parallel and off the accept path.  The
+    queue is bounded: {!submit} refuses rather than blocks when full,
+    which is what the server turns into an explicit [busy] backpressure
+    reply.  Worker domains never die from a job: every job is run under
+    a catch-all (jobs are expected to do their own result plumbing via
+    {!Cell} and catch their own exceptions; the catch-all is the second
+    layer of isolation). *)
+
+(** Single-assignment result cells: the connection thread blocks in
+    {!Cell.wait} while a worker domain {!Cell.fill}s.  (A minimal ivar;
+    [Mutex]/[Condition] work across domains.) *)
+module Cell : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Later fills of an already-filled cell are ignored. *)
+
+  val wait : 'a t -> 'a
+end
+
+type t
+
+val create : workers:int -> queue_cap:int -> t
+(** Spawns [max 1 workers] worker domains.  [queue_cap] bounds the
+    number of {e queued} (not yet running) jobs. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job; [false] when the queue is at capacity or the pool is
+    shutting down (the caller replies [busy]). *)
+
+val queue_length : t -> int
+
+val shutdown : t -> unit
+(** Graceful drain: stop accepting submissions, run every queued job to
+    completion, then join the worker domains.  Idempotent. *)

@@ -1,0 +1,83 @@
+(** Wire protocol of the analysis daemon.
+
+    Requests and responses are a single header line (LF-terminated,
+    at most {!max_line} bytes) optionally followed by a length-prefixed
+    body whose byte count appears on the header line — no quoting, no
+    escaping, trivially parseable from any language:
+
+    {v
+    client:  ddlock/1 analyze <len> [max-states=N] [symmetry] [deadline-ms=N]
+             <len bytes of system source>
+    client:  ddlock/1 ping
+    client:  ddlock/1 stats
+
+    server:  ok <status> <len>        followed by <len> bytes of verdict
+    server:  error <one-line message>
+    server:  busy <retry-after-ms>
+    server:  timeout
+    server:  pong
+    v}
+
+    [ok]'s [<status>] is the exit status [ddlock analyze] would have
+    used (0 = safe ∧ deadlock-free, 1 otherwise) and the body is the
+    exact bytes it would have printed ({!Ddlock.Analysis.render_full}).
+    A server answers requests on one connection sequentially until the
+    client closes; after any [error] reply the server closes the
+    connection (the stream position is no longer trustworthy). *)
+
+val max_line : int
+(** Cap on the header line length (bytes, excluding the LF).  Longer
+    lines are a protocol error: the peer is malformed or malicious. *)
+
+val default_max_request : int
+(** Default cap on an [analyze] body (1 MiB). *)
+
+type request =
+  | Ping
+  | Stats
+  | Analyze of {
+      body_len : int;
+      max_states : int option;  (** [None] = server default *)
+      symmetry : bool;
+      deadline_ms : int option;  (** [None] = server default *)
+    }
+
+type response =
+  | Verdict of { status : int; body : string }  (** [ok] *)
+  | Error_line of string
+  | Busy of { retry_after_ms : int }
+  | Timeout
+  | Pong
+
+val parse_request : string -> (request, string) result
+(** Parse a request header line (without the LF).  Errors are one-line,
+    human-readable, and safe to echo back in an [error] reply. *)
+
+val render_request_header :
+  ?max_states:int -> ?symmetry:bool -> ?deadline_ms:int -> body_len:int ->
+  unit -> string
+(** The [analyze] header line (LF included) for a [body_len]-byte body. *)
+
+val ping_header : string
+
+val stats_header : string
+
+type response_header =
+  | Head_ok of { status : int; body_len : int }
+  | Head_error of string
+  | Head_busy of { retry_after_ms : int }
+  | Head_timeout
+  | Head_pong
+
+val parse_response_header : string -> (response_header, string) result
+(** Parse a response header line (without the LF); [Head_ok] tells the
+    caller how many body bytes follow. *)
+
+val render_response_header : response -> string
+(** The header line (LF included) of [response]; for {!Verdict} the body
+    must be written separately. *)
+
+val one_line : string -> string
+(** Sanitize an arbitrary message for embedding in an [error] reply:
+    newlines become spaces, the result is truncated to fit the header
+    line. *)

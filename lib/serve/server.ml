@@ -1,0 +1,363 @@
+open Ddlock
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_cap : int;
+  cache_cap : int;
+  max_request_bytes : int;
+  default_max_states : int option;
+  default_deadline_ms : int option;
+  jobs : int;
+  idle_timeout_ms : int;
+  busy_retry_ms : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    queue_cap = 16;
+    cache_cap = 128;
+    max_request_bytes = Protocol.default_max_request;
+    default_max_states = None;
+    default_deadline_ms = None;
+    jobs = 1;
+    idle_timeout_ms = 5_000;
+    busy_retry_ms = 100;
+  }
+
+type counters = {
+  received : int Atomic.t;
+  verdicts : int Atomic.t;
+  errors : int Atomic.t;
+  busy : int Atomic.t;
+  timeouts : int Atomic.t;
+  connections : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Pool.t;
+  cache : (int * string) Cache.t;  (* key -> (status, rendered verdict) *)
+  stop : bool Atomic.t;
+  c : counters;
+  conn_lock : Mutex.t;
+  conn_done : Condition.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;  (* live connections *)
+  mutable accept_thread : Thread.t option;
+}
+
+(* Obs-side mirrors of the counters, so `ddlock serve --stats` folds the
+   daemon into the standard telemetry summary. *)
+let m_requests = Obs.Metrics.Counter.make "serve.requests"
+let m_verdicts = Obs.Metrics.Counter.make "serve.verdicts"
+let m_errors = Obs.Metrics.Counter.make "serve.errors"
+let m_busy = Obs.Metrics.Counter.make "serve.busy"
+let m_timeouts = Obs.Metrics.Counter.make "serve.timeouts"
+let m_cache_hits = Obs.Metrics.Counter.make "serve.cache_hits"
+let m_cache_misses = Obs.Metrics.Counter.make "serve.cache_misses"
+let m_request_ns = Obs.Metrics.Histogram.make "serve.request_ns"
+
+let stats_json t =
+  Printf.sprintf
+    {|{"received": %d, "verdicts": %d, "errors": %d, "busy": %d, "timeouts": %d, "cache_hits": %d, "cache_misses": %d, "cache_entries": %d, "queue_length": %d, "connections": %d, "workers": %d}|}
+    (Atomic.get t.c.received) (Atomic.get t.c.verdicts)
+    (Atomic.get t.c.errors) (Atomic.get t.c.busy)
+    (Atomic.get t.c.timeouts) (Cache.hits t.cache) (Cache.misses t.cache)
+    (Cache.length t.cache)
+    (Pool.queue_length t.pool)
+    (Atomic.get t.c.connections) t.cfg.workers
+
+(* ------------------------- request handling ------------------------ *)
+
+let cache_key ~max_states ~symmetry sys =
+  let salt =
+    String.concat "\x00"
+      [
+        Sched.Canon.system_key sys;
+        (match max_states with None -> "-" | Some n -> string_of_int n);
+        (if symmetry then "s" else "p");
+      ]
+  in
+  Digest.to_hex (Digest.string salt)
+
+type job_result =
+  | Done of int * string  (* status, rendered verdict *)
+  | Timed_out
+  | Crashed of string
+
+let run_analysis t ~max_states ~symmetry ~deadline_ns sys =
+  try
+    let run () =
+      let text, status, _report =
+        Analysis.render_full ?max_states ~jobs:t.cfg.jobs ~symmetry sys
+      in
+      Done (status, text)
+    in
+    match deadline_ns with
+    | Some d when Obs.Clock.now_ns () > d ->
+        Timed_out (* expired while queued: don't even start *)
+    | Some d -> (
+        try Obs.Cancel.with_poll (fun () -> Obs.Clock.now_ns () > d) run
+        with Obs.Cancel.Cancelled -> Timed_out)
+    | None -> run ()
+  with exn -> Crashed (Printexc.to_string exn)
+
+(* Per-request outcome: [`Continue] keeps the connection open for the
+   next request, [`Close] ends it (error replies and dead peers). *)
+let handle_analyze t fd ~max_states ~symmetry ~deadline_ms body =
+  let reply r =
+    let head = Protocol.render_response_header r in
+    let payload =
+      match r with Protocol.Verdict { body; _ } -> head ^ body | _ -> head
+    in
+    match Wire.write_all fd payload with Ok () -> `Continue | Error `Closed -> `Close
+  in
+  let error msg =
+    Atomic.incr t.c.errors;
+    Obs.Metrics.Counter.incr m_errors;
+    ignore (reply (Protocol.Error_line msg));
+    `Close
+  in
+  match Model.Parser.parse body with
+  | Error e ->
+      error
+        ("parse: "
+        ^ Protocol.one_line (Format.asprintf "%a" Model.Parser.pp_error e))
+  | Ok r -> (
+      let sys = Model.Parser.system_of_result r in
+      let max_states =
+        match max_states with Some _ as s -> s | None -> t.cfg.default_max_states
+      in
+      let deadline_ms =
+        match deadline_ms with
+        | Some _ as d -> d
+        | None -> t.cfg.default_deadline_ms
+      in
+      let key = cache_key ~max_states ~symmetry sys in
+      match Cache.find t.cache key with
+      | Some (status, text) ->
+          Obs.Metrics.Counter.incr m_cache_hits;
+          Atomic.incr t.c.verdicts;
+          Obs.Metrics.Counter.incr m_verdicts;
+          reply (Protocol.Verdict { status; body = text })
+      | None -> (
+          Obs.Metrics.Counter.incr m_cache_misses;
+          let deadline_ns =
+            Option.map
+              (fun ms -> Obs.Clock.now_ns () + (ms * 1_000_000))
+              deadline_ms
+          in
+          let cell = Pool.Cell.create () in
+          let job () =
+            Pool.Cell.fill cell
+              (run_analysis t ~max_states ~symmetry ~deadline_ns sys)
+          in
+          if not (Pool.submit t.pool job) then begin
+            Atomic.incr t.c.busy;
+            Obs.Metrics.Counter.incr m_busy;
+            reply (Protocol.Busy { retry_after_ms = t.cfg.busy_retry_ms })
+          end
+          else
+            match Pool.Cell.wait cell with
+            | Done (status, text) ->
+                Cache.add t.cache key (status, text);
+                Atomic.incr t.c.verdicts;
+                Obs.Metrics.Counter.incr m_verdicts;
+                reply (Protocol.Verdict { status; body = text })
+            | Timed_out ->
+                Atomic.incr t.c.timeouts;
+                Obs.Metrics.Counter.incr m_timeouts;
+                reply Protocol.Timeout
+            | Crashed msg ->
+                error ("analysis failed: " ^ Protocol.one_line msg)))
+
+let handle_request t fd line =
+  Atomic.incr t.c.received;
+  Obs.Metrics.Counter.incr m_requests;
+  let t0 = Obs.Clock.now_ns () in
+  let reply r =
+    let head = Protocol.render_response_header r in
+    let payload =
+      match r with Protocol.Verdict { body; _ } -> head ^ body | _ -> head
+    in
+    match Wire.write_all fd payload with Ok () -> `Continue | Error `Closed -> `Close
+  in
+  let error msg =
+    Atomic.incr t.c.errors;
+    Obs.Metrics.Counter.incr m_errors;
+    ignore (reply (Protocol.Error_line msg));
+    `Close
+  in
+  let outcome =
+    Obs.Trace.span "serve.request" @@ fun () ->
+    match Protocol.parse_request line with
+    | Error msg -> error msg
+    | Ok Protocol.Ping -> reply Protocol.Pong
+    | Ok Protocol.Stats ->
+        reply (Protocol.Verdict { status = 0; body = stats_json t ^ "\n" })
+    | Ok (Protocol.Analyze { body_len; max_states; symmetry; deadline_ms })
+      -> (
+        if body_len > t.cfg.max_request_bytes then
+          error
+            (Printf.sprintf "request too large (%d > %d bytes)" body_len
+               t.cfg.max_request_bytes)
+        else
+          match Wire.read_exact fd body_len with
+          | Error `Slow -> error "slow client: body read timed out"
+          | Error _ -> `Close (* peer vanished mid-body *)
+          | Ok body ->
+              handle_analyze t fd ~max_states ~symmetry ~deadline_ms body)
+  in
+  Obs.Metrics.Histogram.observe m_request_ns (Obs.Clock.now_ns () - t0);
+  outcome
+
+let handle_connection t fd =
+  Wire.set_read_timeout fd (float_of_int t.cfg.idle_timeout_ms /. 1000.);
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Wire.read_line fd with
+      | Error (`Eof | `Idle | `Eof_mid | `Closed) -> ()
+      | Error `Slow ->
+          Atomic.incr t.c.errors;
+          Obs.Metrics.Counter.incr m_errors;
+          ignore
+            (Wire.write_all fd
+               (Protocol.render_response_header
+                  (Protocol.Error_line "slow client: header read timed out")))
+      | Error `Too_long ->
+          Atomic.incr t.c.errors;
+          Obs.Metrics.Counter.incr m_errors;
+          ignore
+            (Wire.write_all fd
+               (Protocol.render_response_header
+                  (Protocol.Error_line
+                     (Printf.sprintf "header line exceeds %d bytes"
+                        Protocol.max_line))))
+      | Ok line -> ( match handle_request t fd line with
+          | `Continue -> loop ()
+          | `Close -> ())
+  in
+  loop ()
+
+(* ------------------------------ lifecycle -------------------------- *)
+
+let claim_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+  | { Unix.st_kind = S_SOCK; _ } ->
+      (* Probe: a connectable socket means a live daemon — refuse; a
+         refused connection means a stale file — reclaim it. *)
+      let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      let alive =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close probe with _ -> ())
+          (fun () ->
+            try
+              Unix.connect probe (ADDR_UNIX path);
+              true
+            with Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> false)
+      in
+      if alive then
+        failwith (path ^ ": a daemon is already serving on this socket")
+      else Unix.unlink path
+  | _ -> failwith (path ^ ": exists and is not a socket")
+
+let register_conn t fd =
+  Mutex.lock t.conn_lock;
+  Hashtbl.replace t.conns fd ();
+  Mutex.unlock t.conn_lock
+
+let unregister_conn t fd =
+  Mutex.lock t.conn_lock;
+  Hashtbl.remove t.conns fd;
+  Condition.broadcast t.conn_done;
+  Mutex.unlock t.conn_lock
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+              go ()
+          | fd, _ ->
+              Atomic.incr t.c.connections;
+              register_conn t fd;
+              ignore
+                (Thread.create
+                   (fun () ->
+                     Fun.protect
+                       ~finally:(fun () ->
+                         (try Unix.close fd with Unix.Unix_error _ -> ());
+                         unregister_conn t fd)
+                       (fun () ->
+                         try handle_connection t fd with _ -> ()))
+                   ());
+              go ())
+  in
+  go ()
+
+let start cfg =
+  let cfg = { cfg with workers = max 1 cfg.workers; jobs = max 1 cfg.jobs } in
+  claim_socket cfg.socket_path;
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      listen_fd;
+      pool = Pool.create ~workers:cfg.workers ~queue_cap:cfg.queue_cap;
+      cache = Cache.create ~capacity:cfg.cache_cap;
+      stop = Atomic.make false;
+      c =
+        {
+          received = Atomic.make 0;
+          verdicts = Atomic.make 0;
+          errors = Atomic.make 0;
+          busy = Atomic.make 0;
+          timeouts = Atomic.make 0;
+          connections = Atomic.make 0;
+        };
+      conn_lock = Mutex.create ();
+      conn_done = Condition.create ();
+      conns = Hashtbl.create 16;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let request_stop t = Atomic.set t.stop true
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  (* Nudge idle keep-alive connections: shutting down the read side
+     makes their blocked header read return EOF, while in-flight
+     requests keep their write side and still deliver their reply. *)
+  Mutex.lock t.conn_lock;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.conns;
+  while Hashtbl.length t.conns > 0 do
+    Condition.wait t.conn_done t.conn_lock
+  done;
+  Mutex.unlock t.conn_lock;
+  Pool.shutdown t.pool

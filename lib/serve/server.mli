@@ -1,0 +1,66 @@
+(** The analysis daemon: a Unix-domain-socket server answering
+    {!Protocol} requests from an LRU verdict cache backed by a bounded
+    pool of worker domains.
+
+    Robustness contract (exercised by the chaos battery):
+    - Every accepted request gets exactly one reply: [ok], [error],
+      [busy] or [timeout].  No reply path can hang: admission is
+      non-blocking (full queue ⇒ [busy] with a retry hint), and a
+      per-request deadline cancels in-flight analysis via the
+      {!Ddlock.Obs.Cancel} budget hook (⇒ [timeout]).  A job whose
+      deadline expired while still queued replies [timeout] without
+      running at all.
+    - Malformed, oversized or stalled (slowloris) frames get a one-line
+      [error] reply and the connection is closed; they never crash the
+      daemon or poison other connections.
+    - Worker domains are exception-isolated: an analysis that raises
+      replies [error analysis failed: ...] and the domain lives on.
+    - {!request_stop} + {!wait} drain gracefully: the listener closes,
+      in-flight requests finish and reply, queued jobs run, worker
+      domains join, the socket file is unlinked.
+
+    Deadlines bound the sequential engines (the worker installs the
+    deadline poll in its own domain); with [jobs > 1] the extra search
+    domains do not inherit the poll, so configure [jobs = 1] (the
+    default) when deadlines must be strict. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains (≥ 1) *)
+  queue_cap : int;  (** queued-job bound; full ⇒ [busy] *)
+  cache_cap : int;  (** LRU verdict-cache entries; [0] disables *)
+  max_request_bytes : int;  (** [analyze] body cap; larger ⇒ [error] *)
+  default_max_states : int option;
+      (** when the request names none; [None] = analysis default *)
+  default_deadline_ms : int option;  (** when the request names none *)
+  jobs : int;  (** worker domains {e per analysis} (see above) *)
+  idle_timeout_ms : int;  (** per-read deadline (slowloris guard) *)
+  busy_retry_ms : int;  (** retry hint sent with [busy] *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, queue 16, cache 128, 1 MiB bodies, no default deadline,
+    [jobs = 1], 5 s idle timeout, 100 ms retry hint. *)
+
+type t
+
+val start : config -> t
+(** Bind and serve (accept loop and connection handlers run on
+    background threads; worker domains are spawned eagerly).  A stale
+    socket file (no listener behind it) is replaced; a {e live} one —
+    another daemon already serving — raises [Failure], as does a path
+    that exists but is not a socket. *)
+
+val request_stop : t -> unit
+(** Begin a graceful drain.  Async-signal-safe (one atomic store): call
+    it from a [SIGTERM]/[SIGINT] handler. *)
+
+val wait : t -> unit
+(** Block until the drain completes (listener closed, connections
+    finished, queued jobs run, workers joined, socket unlinked).
+    Call {!request_stop} first — or from a signal handler. *)
+
+val stats_json : t -> string
+(** One-line JSON counters: requests received, verdicts, errors, busy,
+    timeouts, cache hits/misses/entries, queue length, connections,
+    workers.  Also the body of the [stats] protocol verb. *)

@@ -1,0 +1,60 @@
+type read_error =
+  [ `Eof | `Eof_mid | `Idle | `Slow | `Too_long | `Closed ]
+
+let set_read_timeout fd seconds =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+
+(* Header lines are read a byte at a time so we never consume bytes of
+   the body that follows; lines are tiny (≤ Protocol.max_line) and the
+   protocol is one line per analysis, so the syscall count is
+   irrelevant next to the analysis itself. *)
+let read_line fd =
+  let b = Buffer.create 128 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length b > Protocol.max_line then Error `Too_long
+    else
+      match Unix.read fd one 0 1 with
+      | 0 -> if Buffer.length b = 0 then Error `Eof else Error `Eof_mid
+      | _ -> (
+          match Bytes.get one 0 with
+          | '\n' ->
+              let s = Buffer.contents b in
+              let n = String.length s in
+              Ok (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+          | c ->
+              Buffer.add_char b c;
+              go ())
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          if Buffer.length b = 0 then Error `Idle else Error `Slow
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> Error `Closed
+  in
+  go ()
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> Error `Eof_mid
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          Error `Slow
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> Error `Closed
+  in
+  go 0
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off = len then Ok ()
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> Error `Closed
+  in
+  go 0

@@ -1,0 +1,28 @@
+(** Framed socket I/O shared by server and client.
+
+    Read deadlines are enforced with [SO_RCVTIMEO] (set once per
+    connection via {!set_read_timeout}); a blocked read then fails with
+    [EAGAIN], which surfaces as [`Idle] (nothing read yet — the peer is
+    merely quiet) or [`Slow] (a partial frame stalled — a slowloris).
+    The distinction is what lets the server close idle keep-alive
+    connections silently but answer a stalled frame with a one-line
+    error. *)
+
+type read_error =
+  [ `Eof  (** clean close at a frame boundary *)
+  | `Eof_mid  (** peer vanished inside a frame *)
+  | `Idle  (** read timeout with zero bytes of the frame read *)
+  | `Slow  (** read timeout inside a frame *)
+  | `Too_long  (** header line exceeded {!Protocol.max_line} *)
+  | `Closed  (** peer reset / descriptor error *) ]
+
+val set_read_timeout : Unix.file_descr -> float -> unit
+(** [set_read_timeout fd seconds]; [0.] disables the timeout. *)
+
+val read_line : Unix.file_descr -> (string, read_error) result
+(** One LF-terminated line, LF stripped (a trailing CR too). *)
+
+val read_exact : Unix.file_descr -> int -> (string, read_error) result
+
+val write_all : Unix.file_descr -> string -> (unit, [ `Closed ]) result
+(** Never raises: [EPIPE]/reset surface as [Error `Closed]. *)

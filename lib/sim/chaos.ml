@@ -91,6 +91,15 @@ let default_cases () =
         System.create
           (List.init 3 (fun _ -> Builder.two_phase_chain db [ "a"; "b"; "c" ]));
     };
+    {
+      (* Hotspot contention: 4 transactions fighting zipfian-hot
+         entities — the skewed regime where preemptive schemes churn. *)
+      label = "zipf-hotspot";
+      system =
+        Ddlock_workload.Gentx.zipf_system
+          (Random.State.make [| 0x21bf |])
+          ~sites:2 ~entities:4 ~txns:4 ~theta:1.2;
+    };
   ]
 
 let default_schemes =
@@ -99,6 +108,7 @@ let default_schemes =
     ("wound-wait", Recovery.Wound_wait);
     ("detect", Recovery.Detect { period = 5.0 });
     ("timeout", Recovery.default_timeout);
+    ("probabilistic", Recovery.Probabilistic);
   ]
 
 type report = {

@@ -7,6 +7,7 @@ type scheme =
   | Wound_wait
   | Detect of { period : float }
   | Timeout of { base : float; cap : float; max_retries : int }
+  | Probabilistic
 
 type config = {
   base : Runtime.config;
@@ -84,6 +85,16 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
   let aborts_by_txn = Array.make n 0 in
   (* Timestamp (priority): arrival order; kept across restarts. *)
   let ts i = i in
+  (* Probabilistic scheme: a random priority per incarnation, redrawn on
+     every abort.  Drawn only under [Probabilistic] so the other schemes'
+     random streams are unchanged. *)
+  let prio =
+    match scheme with
+    | Probabilistic -> Array.init n (fun _ -> Random.State.float rng 1.0)
+    | Wait_die | Wound_wait | Detect _ | Timeout _ -> [||]
+  in
+  (* Strict total order on live incarnations (ties broken by index). *)
+  let beats r h = prio.(r) > prio.(h) || (prio.(r) = prio.(h) && r < h) in
   let last_site = Array.make n (-1) in
   let events : event Pqueue.t = Pqueue.create () in
   let now = ref 0.0 in
@@ -119,7 +130,7 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
     match scheme with
     | Timeout { base; cap; max_retries } ->
         jittered (backoff_window base cap max_retries j)
-    | Wait_die | Wound_wait | Detect _ -> 0.0
+    | Wait_die | Wound_wait | Detect _ | Probabilistic -> 0.0
   in
   (* The grant message travels back from the manager, subject to faults. *)
   let push_grant (w : Step.t) winc e =
@@ -206,6 +217,12 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
     Ddlock_obs.Metrics.Counter.incr obs_aborts;
     aborts_by_txn.(j) <- aborts_by_txn.(j) + 1;
     incarnation.(j) <- incarnation.(j) + 1;
+    (match scheme with
+    | Probabilistic ->
+        (* Redraw: a repeatedly-wounded transaction eventually draws the
+           top priority, which bounds starvation with probability 1. *)
+        prio.(j) <- Random.State.float rng 1.0
+    | Wait_die | Wound_wait | Detect _ | Timeout _ -> ());
     executed.(j) <- Transaction.empty_prefix (System.txn sys j);
     started.(j) <- Transaction.empty_prefix (System.txn sys j);
     arrived.(j) <- Transaction.empty_prefix (System.txn sys j);
@@ -241,6 +258,23 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
           let l = locks.(entity_of step) in
           (* abort released the entity (holder was [holder]); it may have
              been re-granted to a queued waiter — if so, wait instead. *)
+          match l.holder with
+          | None ->
+              l.holder <- Some r;
+              push_grant step inc (entity_of step)
+          | Some _ -> Queue.push (step, inc, since) l.waiters
+        end
+        else Queue.push (step, inc, since) locks.(entity_of step).waiters
+    | Probabilistic ->
+        (* Wound-wait with random per-incarnation priorities [O&B,
+           arXiv:1010.4411]: a higher-priority requester preempts the
+           holder, a lower-priority one waits.  Wait arcs then always
+           ascend the (priority, index) total order, so the wait-for
+           graph is acyclic — no deadlock — and the redraw-on-abort
+           makes persistent starvation a probability-zero event. *)
+        if beats r holder then begin
+          abort holder;
+          let l = locks.(entity_of step) in
           match l.holder with
           | None ->
               l.holder <- Some r;
@@ -300,7 +334,7 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
   done;
   (match scheme with
   | Detect { period } -> Pqueue.push events period Tick
-  | Wait_die | Wound_wait | Timeout _ -> ());
+  | Wait_die | Wound_wait | Timeout _ | Probabilistic -> ());
   List.iter
     (fun (w : Faults.window) ->
       Pqueue.push events w.Faults.from_t (Crash w.Faults.site))
@@ -344,7 +378,7 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
                       abort (List.fold_left max (List.hd cycle) cycle)
                   | None -> ());
                   if !commits < n then Pqueue.push events (t +. period) Tick
-              | Wait_die | Wound_wait | Timeout _ -> ())
+              | Wait_die | Wound_wait | Timeout _ | Probabilistic -> ())
           | Arrive (step, inc) ->
               if
                 inc = incarnation.(step.Step.txn)

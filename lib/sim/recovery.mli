@@ -24,6 +24,17 @@ open Ddlock_schedule
       [max_retries] doublings, and is capped at [cap]; the jitter
       (uniform in [[0.5w, 1.5w)]) breaks symmetric restart races — the
       probabilistic cousin of the timestamp schemes.
+    - {b Probabilistic} (preemptive): wound-wait with {e random}
+      per-incarnation priorities instead of timestamps, after Oliveira &
+      Barbosa's probabilistic deadlock-avoidance scheme
+      (arXiv:1010.4411).  Every incarnation draws a fresh uniform
+      priority; a higher-priority requester wounds the holder, a
+      lower-priority one waits.  Wait arcs always ascend the strict
+      (priority, index) order, so deadlock is impossible; because a
+      wounded transaction {e redraws} on restart, it eventually outranks
+      any fixed set of rivals with probability 1 — starvation-freedom
+      holds probabilistically rather than by timestamp monotonicity, at
+      the price of more aborts than wound-wait on skewed workloads.
 
     Wound-wait and wait-die can never deadlock; detect-and-abort resolves
     every deadlock it finds; timeout breaks every deadlock by timing out
@@ -41,6 +52,7 @@ type scheme =
   | Wound_wait
   | Detect of { period : float }
   | Timeout of { base : float; cap : float; max_retries : int }
+  | Probabilistic
 
 type config = {
   base : Runtime.config;

@@ -75,6 +75,61 @@ let random_entity_subset rng db ~k =
   shuffle rng a;
   List.sort compare (Array.to_list (Array.sub a 0 k))
 
+(* Zipf(theta) over ranks 1..n by inverse-CDF on the exact normalized
+   weights w_r = r^-theta.  n is small (a schema, not a key space), so
+   building the cumulative table per call is fine. *)
+let zipf_pick rng cumulative =
+  let u = Random.State.float rng 1.0 in
+  let n = Array.length cumulative in
+  let rec bisect lo hi =
+    (* invariant: cumulative.(hi) > u, lo-1 has cumulative <= u *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cumulative.(mid) > u then bisect lo mid else bisect (mid + 1) hi
+  in
+  bisect 0 (n - 1)
+
+let zipf_entity_subset rng ~cumulative ~k =
+  let n = Array.length cumulative in
+  if k > n then invalid_arg "Gentx.zipf_entity_subset: k > entities";
+  let chosen = Hashtbl.create k in
+  let rec draw () =
+    let e = zipf_pick rng cumulative in
+    if Hashtbl.mem chosen e then draw ()
+    else Hashtbl.replace chosen e ()
+  in
+  for _ = 1 to k do
+    draw ()
+  done;
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) chosen [])
+
+let zipf_system ?(entities_per_txn = 2) ?(density = 0.3) rng ~sites ~entities
+    ~txns ~theta =
+  if theta < 0.0 then invalid_arg "Gentx.zipf_system: theta < 0";
+  if txns < 1 then invalid_arg "Gentx.zipf_system: txns < 1";
+  if entities < 1 then invalid_arg "Gentx.zipf_system: entities < 1";
+  if entities_per_txn > entities then
+    invalid_arg "Gentx.zipf_system: entities_per_txn > entities";
+  let db = random_db ~sites ~entities in
+  let weights =
+    Array.init entities (fun r -> (1.0 /. float_of_int (r + 1)) ** theta)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make entities 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(entities - 1) <- 1.0;
+  System.create
+    (List.init txns (fun _ ->
+         random_transaction rng db
+           ~entities:(zipf_entity_subset rng ~cumulative ~k:entities_per_txn)
+           ~density))
+
 let random_system rng db ~txns ~entities_per_txn ~density =
   System.create
     (List.init txns (fun _ ->

@@ -30,6 +30,26 @@ val random_transaction :
 (** [random_entity_subset rng db ~k] — [k] distinct entities. *)
 val random_entity_subset : Random.State.t -> Db.t -> k:int -> Db.entity list
 
+(** [zipf_system rng ~sites ~entities ~txns ~theta] — a hotspot
+    workload: each of the [txns] transactions accesses
+    [entities_per_txn] (default 2) {e distinct} entities drawn
+    zipfian(θ) — entity [e{i}] has weight [(i+1)^-θ], so [theta = 0.] is
+    uniform and larger [theta] concentrates contention on the first few
+    entities (the serve bench and chaos sweep use it to model the
+    realistic many-clients-few-hot-rows regime).  Transaction shape over
+    the chosen entities is {!random_transaction} with [density]
+    (default 0.3).  Raises [Invalid_argument] on [theta < 0.],
+    [txns < 1] or [entities_per_txn > entities]. *)
+val zipf_system :
+  ?entities_per_txn:int ->
+  ?density:float ->
+  Random.State.t ->
+  sites:int ->
+  entities:int ->
+  txns:int ->
+  theta:float ->
+  System.t
+
 (** [random_system rng db ~txns ~entities_per_txn ~density] — each
     transaction accesses a random subset of entities. *)
 val random_system :

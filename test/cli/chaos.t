@@ -4,7 +4,7 @@ checks the committed-trace invariants; clean sweeps exit 0:
 
   $ ../../bin/ddlock_cli.exe gen philosophers -n 3 > phil.txn
   $ ../../bin/ddlock_cli.exe chaos phil.txn --runs 25 --seed 11
-  125 runs: 125 clean, 0 invariant violations, 179 aborts (max 4 per txn), mean makespan 28.19
+  150 runs: 150 clean, 0 invariant violations, 229 aborts (max 4 per txn), mean makespan 27.52
 
 A single scheme can be swept on its own:
 

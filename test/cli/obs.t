@@ -41,7 +41,7 @@ minimize and chaos take the same flags:
 
   $ ../../bin/ddlock_cli.exe chaos fig2.txn --runs 1 --stats > /dev/null 2> chaos.err
   $ grep -E 'chaos\.runs' chaos.err
-    chaos.runs                             5
+    chaos.runs                             6
 
 --trace without --stats is rejected up front with exit code 2:
 

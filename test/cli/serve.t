@@ -1,0 +1,67 @@
+The analysis daemon and its client.  Requesting against a socket nobody
+serves is a one-line error and exit 2:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./no.sock --ping
+  ddlock: connect: ./no.sock: No such file or directory
+  [2]
+
+Start a daemon and wait for its socket to appear:
+
+  $ ../../bin/ddlock_cli.exe serve --socket ./d.sock 2> serve.log &
+  $ SRV=$!
+  $ for _ in $(seq 100); do test -S ./d.sock && break; sleep 0.1; done
+
+Liveness probe:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --ping
+  pong
+
+Served verdicts are byte-identical to the local analysis, and the exit
+status carries the verdict (1 = unsafe/deadlocks):
+
+  $ ../../bin/ddlock_cli.exe gen ring -n 4 --copies 2 > fig2.txn
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn > local.out
+  [1]
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock fig2.txn > served.out
+  [1]
+  $ cmp local.out served.out
+
+A malformed frame gets a one-line error reply and exit 2 — the daemon
+survives it:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --raw 'nonsense frame'
+  error bad magic "nonsense" (expected ddlock/1)
+  [2]
+
+So does an oversized request, refused before any body is read:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --raw 'ddlock/1 analyze 99999999'
+  error request too large (99999999 > 1048576 bytes)
+  [2]
+
+A deadline of zero on a system not yet in the verdict cache exceeds its
+deadline and exits 4:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 5 > phil.txn
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --deadline-ms 0 phil.txn
+  ddlock: request deadline exceeded
+  [4]
+
+Binding a socket that is already being served is refused with a
+one-line error:
+
+  $ ../../bin/ddlock_cli.exe serve --socket ./d.sock
+  ddlock: ./d.sock: a daemon is already serving on this socket
+  [2]
+
+After all that abuse the daemon still answers:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --ping
+  pong
+
+SIGTERM drains gracefully: the daemon exits 0 and unlinks its socket.
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ test -S ./d.sock
+  [1]

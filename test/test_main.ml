@@ -17,4 +17,5 @@ let () =
       ("semantics", Test_semantics.suite);
       ("edge", Test_edge.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -137,6 +137,7 @@ let schemes =
     ("wait-die", Recovery.Wait_die);
     ("wound-wait", Recovery.Wound_wait);
     ("detect", Recovery.Detect { period = 5.0 });
+    ("probabilistic", Recovery.Probabilistic);
   ]
 
 let test_recovery_resolves_philosophers () =
@@ -202,6 +203,93 @@ let test_detect_only_aborts_on_cycles () =
   check int_t "no aborts" 0 stats.Recovery.total_aborts;
   check int_t "no timeouts" 0 stats.Recovery.timeouts
 
+(* ------------------------------------------------------------------ *)
+(* Probabilistic scheme (random priorities, O&B arXiv:1010.4411)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_probabilistic_no_deadlock () =
+  (* Wait arcs ascend the random-priority order, so no run may ever get
+     stuck — even on workloads that reliably deadlock without a scheme
+     and under heavy ring contention. *)
+  List.iter
+    (fun sys ->
+      let rng = Fixtures.rng 31 in
+      let stats = Recovery.batch ~scheme:Recovery.Probabilistic rng sys ~runs:80 in
+      check int_t "no timeouts" 0 stats.Recovery.timeouts;
+      check int_t "traces legal" 0 stats.Recovery.illegal_traces;
+      check int_t "traces serializable" 0 stats.Recovery.non_serializable_traces)
+    [
+      Ddlock_workload.Gentx.dining_philosophers 5;
+      System.copies (Ddlock_workload.Gentx.guard_ring 4) 2;
+    ]
+
+let test_probabilistic_bounded_starvation () =
+  (* Redraw-on-abort: no single transaction may be wounded unboundedly
+     often.  80 contended runs with a generous per-transaction ceiling —
+     a starving scheme blows through it (wound-wait's fixed-priority
+     analogue with inverted priorities would). *)
+  let sys = Ddlock_workload.Gentx.dining_philosophers 5 in
+  let rng = Fixtures.rng 32 in
+  let stats = Recovery.batch ~scheme:Recovery.Probabilistic rng sys ~runs:80 in
+  check bool_t "some aborts (scheme exercised)" true
+    (stats.Recovery.total_aborts > 0);
+  check bool_t
+    (Printf.sprintf "per-txn aborts bounded (max %d)"
+       stats.Recovery.max_aborts_single_txn)
+    true
+    (stats.Recovery.max_aborts_single_txn <= 12)
+
+(* ------------------------------------------------------------------ *)
+(* Zipfian hotspot generator                                           *)
+(* ------------------------------------------------------------------ *)
+
+let zipf_well_formed_prop =
+  QCheck.Test.make ~name:"zipf_system generates valid hotspot systems"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sites = 1 + Random.State.int st 3 in
+      let entities = 2 + Random.State.int st 4 in
+      let txns = 1 + Random.State.int st 4 in
+      let theta = Random.State.float st 2.0 in
+      let sys =
+        Ddlock_workload.Gentx.zipf_system st ~sites ~entities ~txns ~theta
+      in
+      (* Construction already validates via Transaction.make_exn; check
+         the advertised shape on top. *)
+      System.size sys = txns
+      && Db.entity_count (System.db sys) = entities
+      && Db.site_count (System.db sys) = sites
+      && Array.for_all
+           (fun t -> List.length (Transaction.entities t) = 2)
+           (System.txns sys))
+
+let test_zipf_skews_hot_entities () =
+  (* At theta = 1.5 entity e0 must be touched far more often than the
+     tail entity; at theta = 0 the draw is uniform.  Count over many
+     systems with a fixed seed. *)
+  let count_uses ~theta =
+    let st = Fixtures.rng 33 in
+    let uses = Array.make 8 0 in
+    for _ = 1 to 60 do
+      let sys =
+        Ddlock_workload.Gentx.zipf_system st ~sites:2 ~entities:8 ~txns:3
+          ~theta
+      in
+      Array.iter
+        (fun t ->
+          List.iter (fun e -> uses.(e) <- uses.(e) + 1) (Transaction.entities t))
+        (System.txns sys)
+    done;
+    uses
+  in
+  let hot = count_uses ~theta:1.5 in
+  check bool_t
+    (Printf.sprintf "theta=1.5 skews to e0 (%d vs %d)" hot.(0) hot.(7))
+    true
+    (hot.(0) > 3 * hot.(7))
+
 let recovery_always_commits_prop =
   QCheck.Test.make
     ~name:"recovery schemes always commit random deadlocking systems"
@@ -225,6 +313,7 @@ let qtests =
       certified_systems_clean_prop;
       trace_legal_prop;
       recovery_always_commits_prop;
+      zipf_well_formed_prop;
     ]
 
 let suite =
@@ -243,5 +332,11 @@ let suite =
       test_recovery_no_aborts_when_safe;
     Alcotest.test_case "detect fires only on cycles" `Quick
       test_detect_only_aborts_on_cycles;
+    Alcotest.test_case "probabilistic never deadlocks" `Quick
+      test_probabilistic_no_deadlock;
+    Alcotest.test_case "probabilistic bounded starvation" `Quick
+      test_probabilistic_bounded_starvation;
+    Alcotest.test_case "zipf skews hot entities" `Quick
+      test_zipf_skews_hot_entities;
   ]
   @ qtests
