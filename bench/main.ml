@@ -510,11 +510,9 @@ let wall_clock f =
 
 let par () =
   header "E20 parallel exploration: jobs sweep (deterministic engine)";
-  let cores =
-    match Sys.getenv_opt "BENCH_CORES" with
-    | Some s -> (try int_of_string s with _ -> Domain.recommended_domain_count ())
-    | None -> Domain.recommended_domain_count ()
-  in
+  (* The physical parallelism actually available to the run: speedups in
+     BENCH_par.json are only meaningful relative to this. *)
+  let cores = Domain.recommended_domain_count () in
   Format.printf "  recommended domain count on this machine: %d@." cores;
   let jobs_list = [ 1; 2; 4; 8 ] in
   let workloads =
@@ -691,6 +689,71 @@ let sym () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Format.printf "  wrote BENCH_sym.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction: persistent/sleep-set state counts          *)
+(* ------------------------------------------------------------------ *)
+
+let por () =
+  header
+    "E24 partial-order reduction: states visited, plain vs persistent/sleep \
+     sets";
+  (* Asymmetric workloads are where POR earns its keep: philosophers are
+     pairwise distinct (trivial automorphism group, so --symmetry is a
+     no-op, factor 1.0 in BENCH_sym.json) yet almost all interleavings
+     of far-apart philosophers commute.  Single guard-ring transactions
+     have wide diamonds and no copies at all.  The copies workload shows
+     the reduction composing with a nontrivial group. *)
+  let workloads =
+    List.map
+      (fun k ->
+        ( Printf.sprintf "philosophers k=%d" k,
+          Workload.Gentx.dining_philosophers k ))
+      [ 4; 5; 6 ]
+    @ [
+        ("single 6-ring txn", System.create [ Workload.Gentx.guard_ring 6 ]);
+        ("single 8-ring txn", System.create [ Workload.Gentx.guard_ring 8 ]);
+        ("2 copies of 4-ring", System.copies (Workload.Gentx.guard_ring 4) 2);
+      ]
+  in
+  Format.printf "  %-22s %-10s %-10s %-8s %-10s %-12s %-12s@." "workload"
+    "plain" "reduced" "factor" "sym-fact" "plain (ms)" "por (ms)";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"por\",\n  \"series\": [";
+  List.iteri
+    (fun i (name, sys) ->
+      let plain_space, plain_ms =
+        wall_clock (fun () -> Sched.Explore.explore sys)
+      in
+      let plain = Sched.Explore.state_count plain_space in
+      let por_space, por_ms =
+        wall_clock (fun () -> Sched.Explore.explore ~por:true sys)
+      in
+      let reduced = Sched.Explore.state_count por_space in
+      let sym_states =
+        Sched.Explore.state_count (Sched.Explore.explore ~symmetry:true sys)
+      in
+      assert (reduced <= plain);
+      assert (
+        Sched.Explore.deadlock_free ~por:true sys
+        = Sched.Explore.deadlock_free sys);
+      let factor = float_of_int plain /. float_of_int reduced in
+      let sym_factor = float_of_int plain /. float_of_int sym_states in
+      Format.printf "  %-22s %-10d %-10d %-8.2f %-10.2f %-12.2f %-12.2f@."
+        name plain reduced factor sym_factor plain_ms por_ms;
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"workload\": %S, \"plain_states\": %d, \
+            \"por_states\": %d, \"factor\": %.2f, \"sym_factor\": %.2f, \
+            \"plain_ms\": %.2f, \"por_ms\": %.2f }"
+           name plain reduced factor sym_factor plain_ms por_ms))
+    workloads;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_por.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_por.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Analysis daemon: served latency and verdict-cache collapse          *)
@@ -877,6 +940,7 @@ let () =
       ("par", par);
       ("obs", obs);
       ("sym", sym);
+      ("por", por);
       ("serve", serve_bench);
     ]
   in

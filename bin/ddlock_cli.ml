@@ -83,6 +83,25 @@ let check_symmetry ~symmetry sys =
       "ddlock: --symmetry: no two transactions are structurally identical; \
        symmetry reduction is a no-op@."
 
+let por_arg =
+  Arg.(value & flag & info [ "por" ]
+       ~doc:"Partial-order reduction: run the exhaustive search over a \
+             persistent/sleep-set reduced state space (independent \
+             steps are explored in one order instead of all).  The \
+             verdict — and for $(b,analyze), the reported witness \
+             schedule — is identical to the plain search; composes \
+             with --symmetry and --jobs.  A warning is printed when no \
+             two steps are independent (the flag is then a no-op).")
+
+(* Same contract as check_symmetry: a --por run on a system with no
+   independent step pair (and no same-transaction diamond) explores
+   exactly the plain space — warn, don't fail. *)
+let check_por ~por sys =
+  if por && not (Sched.Indep.has_independent_pair sys) then
+    Format.eprintf
+      "ddlock: --por: no two steps are independent; partial-order \
+       reduction is a no-op@."
+
 (* --------------------------- observability ------------------------- *)
 
 let stats_arg =
@@ -150,14 +169,15 @@ let validate_cmd =
 (* ----------------------------- analyze ----------------------------- *)
 
 let analyze_cmd =
-  let run file max_states jobs symmetry stats trace =
+  let run file max_states jobs symmetry por stats trace =
     check_jobs jobs;
     obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
     check_symmetry ~symmetry sys;
+    check_por ~por sys;
     let text, status, _report =
-      Analysis.render_full ~max_states ~jobs ~symmetry sys
+      Analysis.render_full ~max_states ~jobs ~symmetry ~por sys
     in
     print_string text;
     exit status
@@ -169,7 +189,7 @@ let analyze_cmd =
           exhaustive deadlock search.")
     Term.(
       const run $ file_arg $ max_states_arg $ jobs_arg $ symmetry_arg
-      $ stats_arg $ trace_arg)
+      $ por_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------- pair ------------------------------ *)
 
@@ -409,13 +429,14 @@ let repair_cmd =
 (* ----------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run file max_states jobs symmetry stats trace =
+  let run file max_states jobs symmetry por stats trace =
     check_jobs jobs;
     obs_start ~stats ~trace;
     let r = load file in
     let sys = Parser.system_of_result r in
     check_symmetry ~symmetry sys;
-    match Minimize.deadlock_core ~max_states ~jobs ~symmetry sys with
+    check_por ~por sys;
+    match Minimize.deadlock_core ~max_states ~jobs ~symmetry ~por sys with
     | None ->
         Format.printf
           "# no deadlock found (deadlock-free, or search budget exceeded)@.";
@@ -445,7 +466,7 @@ let minimize_cmd =
          "Shrink a deadlocking system to a minimal core that still           deadlocks (drops transactions and entity accesses).")
     Term.(
       const run $ file_arg $ max_states_arg $ jobs_arg $ symmetry_arg
-      $ stats_arg $ trace_arg)
+      $ por_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------- dot ------------------------------- *)
 

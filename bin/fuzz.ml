@@ -29,7 +29,13 @@
      and identical-copy systems, witness legality, canonical state
      counts within [raw/orbit_size, raw], Theorem-1 prefix verdicts,
      and (under --jobs) par-vs-seq symmetric equality plus identical
-     explore.states_visited / canon.hits counter totals.
+     explore.states_visited / canon.hits counter totals;
+   - with [--por]: the persistent/sleep-set reduced engines
+     (Sched.Indep) vs the plain ones — byte-identical deadlock
+     witnesses, reduced state counts never above plain, Theorem-1
+     prefix verdicts, composition with --symmetry on copies systems,
+     and (under --jobs) par-vs-seq reduced equality plus identical
+     por.pruned / por.persistent_size counter totals.
 *)
 
 open Ddlock
@@ -38,6 +44,7 @@ module System = Model.System
 let () =
   let rounds = ref 500 and seed = ref 1 and txns = ref 3 and jobs = ref 1 in
   let symmetry = ref false in
+  let por = ref false in
   let args =
     [
       ("--rounds", Arg.Set_int rounds, "number of rounds (default 500)");
@@ -51,6 +58,10 @@ let () =
         Arg.Set symmetry,
         "also cross-check the symmetry-reduced engines against the plain \
          ones every round" );
+      ( "--por",
+        Arg.Set por,
+        "also cross-check the persistent/sleep-set reduced engines against \
+         the plain ones every round" );
     ]
   in
   Arg.parse args (fun _ -> ()) "fuzz [options]";
@@ -228,6 +239,61 @@ let () =
         Obs.Metrics.reset ();
         if seq_counts <> par_counts then
           report "sym counter determinism" round
+      end
+    end;
+    (* --- partial-order-reduced engines vs plain ground truth --- *)
+    if !por then begin
+      (* Verdict AND witness are byte-identical: the reduced search
+         decides, a plain re-search canonicalizes the witness. *)
+      let plain = Sched.Explore.find_deadlock sys in
+      if Sched.Explore.find_deadlock ~por:true sys <> plain then
+        report "por find_deadlock" round;
+      if
+        Sched.Explore.state_count (Sched.Explore.explore ~por:true sys)
+        > Sched.Explore.state_count (Sched.Explore.explore sys)
+      then report "por state-count bound" round;
+      if
+        Deadlock.Prefix_search.deadlock_free ~por:true sys
+        <> Deadlock.Prefix_search.deadlock_free sys
+      then report "por prefix verdict" round;
+      (* Composition with the orbit quotient on an identical-copies
+         system: the canonicalized witness is still the plain one. *)
+      let copies = 2 + (round mod 2) in
+      let ksys = Workload.Gentx.random_copies_system st ~copies in
+      if
+        Sched.Explore.find_deadlock ~por:true ~symmetry:true ksys
+        <> Sched.Explore.find_deadlock ksys
+      then report "por+sym verdict" round;
+      if !jobs > 1 then begin
+        let j = 2 + (round mod (!jobs - 1)) in
+        if Par.Par_explore.find_deadlock ~por:true ~jobs:j sys <> plain then
+          report "por par witness" round;
+        if
+          Par.Par_explore.state_count
+            (Par.Par_explore.explore ~por:true ~jobs:j sys)
+          <> Sched.Explore.state_count (Sched.Explore.explore ~por:true sys)
+        then report "por par state count" round;
+        (* POR telemetry totals are jobs-invariant: the work-item
+           multiset is the same whichever engine expands it. *)
+        let counters_after f =
+          Obs.Metrics.reset ();
+          ignore (f ());
+          ( Obs.Metrics.counter_value "explore.states_visited",
+            Obs.Metrics.counter_value "por.pruned",
+            Obs.Metrics.counter_value "por.persistent_size" )
+        in
+        Obs.Control.on ();
+        let seq_counts =
+          counters_after (fun () -> Sched.Explore.explore ~por:true sys)
+        in
+        let par_counts =
+          counters_after (fun () ->
+              Par.Par_explore.explore ~por:true ~jobs:j sys)
+        in
+        Obs.Control.off ();
+        Obs.Metrics.reset ();
+        if seq_counts <> par_counts then
+          report "por counter determinism" round
       end
     end;
     (* --- rw invariants --- *)

@@ -44,9 +44,22 @@ val pp_deadlock_verdict : System.t -> Format.formatter -> deadlock_verdict -> un
     group ({!Ddlock_schedule.Canon}) — same verdict, witness valid for
     the original system, and systems that exhaust the raw budget may fit
     the reduced one.  Default budget: 500_000 states.  Raises
-    [Invalid_argument] when [jobs < 1]. *)
+    [Invalid_argument] when [jobs < 1].
+
+    With [~por:true] the exhaustive search runs over the
+    persistent/sleep-set reduced space ({!Ddlock_schedule.Indep});
+    deadlock witnesses are canonicalized by a plain non-symmetric
+    re-search (see {!Ddlock_schedule.Explore.find_deadlock}), so the
+    verdict {e and} witness are identical to the plain analysis under
+    every [jobs]/[symmetry] combination — only a [Gave_up] budget
+    count can differ (it then reports reduced-search states). *)
 val deadlock_free :
-  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> deadlock_verdict
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  System.t ->
+  deadlock_verdict
 
 (** {1 Reports} *)
 
@@ -63,9 +76,16 @@ type report = {
 }
 
 (** Full analysis: structural statistics plus both verdicts.  [jobs]
-    parallelizes the exhaustive deadlock search and [symmetry] shrinks
-    it to orbit representatives (verdict unchanged either way). *)
-val report : ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> report
+    parallelizes the exhaustive deadlock search, [symmetry] shrinks it
+    to orbit representatives and [por] to a persistent/sleep-set
+    reduced space (verdict unchanged any way). *)
+val report :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  System.t ->
+  report
 
 val pp_report : System.t -> Format.formatter -> report -> unit
 
@@ -80,6 +100,7 @@ val render_full :
   ?max_states:int ->
   ?jobs:int ->
   ?symmetry:bool ->
+  ?por:bool ->
   System.t ->
   string * int * report
 

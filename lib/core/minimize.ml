@@ -11,21 +11,24 @@ let obs_candidates = Ddlock_obs.Metrics.Counter.make "minimize.candidates"
 let obs_shrunk = Ddlock_obs.Metrics.Counter.make "minimize.shrink_steps"
 
 (* Conservative deadlockability: [None] means "unknown" (budget hit) and
-   the candidate move is rejected. *)
-let deadlocks ?max_states ?(jobs = 1) ?symmetry sys =
+   the candidate move is rejected.  Probes are verdict-only, so with
+   [?por] they take the single reduced search (no witness
+   canonicalization cost; see {!Explore.deadlock_free}). *)
+let deadlocks ?max_states ?(jobs = 1) ?symmetry ?por sys =
   Ddlock_obs.Metrics.Counter.incr obs_candidates;
   match
-    if jobs = 1 then Explore.find_deadlock ?max_states ?symmetry sys
-    else Ddlock_par.Par_explore.find_deadlock ?max_states ?symmetry ~jobs sys
+    if jobs = 1 then Explore.deadlock_free ?max_states ?symmetry ?por sys
+    else
+      Ddlock_par.Par_explore.deadlock_free ?max_states ?symmetry ?por ~jobs sys
   with
-  | Some _ -> Some true
-  | None -> Some false
+  | false -> Some true
+  | true -> Some false
   | exception Explore.Too_large _ -> None
 
-let deadlock_core ?max_states ?(jobs = 1) ?symmetry sys =
+let deadlock_core ?max_states ?(jobs = 1) ?symmetry ?por sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
   Ddlock_obs.Trace.span "minimize.deadlock_core" @@ fun () ->
-  match deadlocks ?max_states ~jobs ?symmetry sys with
+  match deadlocks ?max_states ~jobs ?symmetry ?por sys with
   | None | Some false -> None
   | Some true ->
       (* State: list of (original index, transaction). *)
@@ -34,7 +37,7 @@ let deadlock_core ?max_states ?(jobs = 1) ?symmetry sys =
       let mk txns = System.create (List.map snd txns) in
       let still_deadlocks txns =
         List.length txns >= 2
-        && deadlocks ?max_states ~jobs ?symmetry (mk txns) = Some true
+        && deadlocks ?max_states ~jobs ?symmetry ?por (mk txns) = Some true
       in
       let changed = ref true in
       while !changed do

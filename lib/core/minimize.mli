@@ -26,7 +26,14 @@ type result = {
     state per identical-transaction orbit ({!Ddlock_schedule.Canon});
     the minimized core is identical for every [jobs] and either
     [symmetry] flag (the group is re-detected per candidate, so shrunk
-    systems keep whatever symmetry they retain).  Raises
-    [Invalid_argument] when [jobs < 1]. *)
+    systems keep whatever symmetry they retain).  With [~por:true]
+    every re-check is a verdict-only persistent/sleep-set reduced
+    search ({!Ddlock_schedule.Indep}) — same core, fewer states per
+    probe.  Raises [Invalid_argument] when [jobs < 1]. *)
 val deadlock_core :
-  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> result option
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  System.t ->
+  result option

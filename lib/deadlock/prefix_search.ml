@@ -29,11 +29,34 @@ let cyclic sys st = Reduction.has_cycle (Reduction.make sys st)
    representatives; the engines hand back a schedule and prefix already
    translated to the original system, and the cycle is recomputed on that
    real prefix. *)
-let find ?max_states ?(jobs = 1) ?(symmetry = false) sys =
+let find ?max_states ?(jobs = 1) ?(symmetry = false) ?(por = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
   Obs_t.span "prefix_search.find" @@ fun () ->
   let r =
-    if symmetry then
+    if por then
+      (* The reduced search is sound for this goal because a cyclic
+         reduction graph is reachable iff a deadlock state is (Theorem
+         1), and the persistent/sleep-set reduction preserves every
+         reachable deadlock state.  The witness is the first cyclic
+         prefix in the reduced order — valid, not necessarily the
+         plain engine's choice. *)
+      let witness =
+        if jobs = 1 then
+          Explore.bfs ?max_states ~symmetry ~por:true sys ~found:(cyclic sys)
+        else
+          Ddlock_par.Par_explore.bfs ?max_states ~symmetry ~por:true ~jobs sys
+            ~found:(cyclic sys)
+      in
+      match witness with
+      | None -> None
+      | Some (schedule, prefix) ->
+          let cycle =
+            match Reduction.find_cycle (Reduction.make sys prefix) with
+            | Some c -> c
+            | None -> assert false
+          in
+          Some { prefix; schedule; cycle }
+    else if symmetry then
       let witness =
         if jobs = 1 then
           Explore.bfs ?max_states ~symmetry sys ~found:(cyclic sys)
@@ -72,12 +95,24 @@ let find ?max_states ?(jobs = 1) ?(symmetry = false) sys =
   if r <> None then Ddlock_obs.Metrics.Counter.incr obs_prefix_witnesses;
   r
 
-let deadlock_free ?max_states ?jobs ?symmetry sys =
-  find ?max_states ?jobs ?symmetry sys = None
+let deadlock_free ?max_states ?jobs ?symmetry ?por sys =
+  find ?max_states ?jobs ?symmetry ?por sys = None
 
-let all ?max_states ?(jobs = 1) ?(symmetry = false) sys =
+let all ?max_states ?(jobs = 1) ?(symmetry = false) ?(por = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
-  if symmetry then
+  if por then
+    (* Cyclic states of the reduced space: a subset of the plain
+       result, nonempty iff the plain result is (Theorem 1 again). *)
+    if jobs = 1 then
+      let sp = Explore.explore ?max_states ~symmetry ~por:true sys in
+      Seq.filter (cyclic sys) (Explore.states sp)
+    else
+      let sp =
+        Ddlock_par.Par_explore.explore ?max_states ~symmetry ~por:true ~jobs
+          sys
+      in
+      Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)
+  else if symmetry then
     if jobs = 1 then
       let sp = Explore.explore ?max_states ~symmetry sys in
       Seq.filter (cyclic sys) (Explore.states sp)

@@ -29,19 +29,41 @@ type witness = {
     the returned schedule and prefix are translated back to the original
     system, identically for {e every} [jobs] (including [jobs = 1],
     which then also takes the BFS goal-directed path rather than the
-    historical table-order scan). *)
+    historical table-order scan).
+
+    With [~por:true] the search runs over the persistent/sleep-set
+    reduced space ({!Ddlock_schedule.Indep}) — sound here because a
+    cyclic reduction graph is reachable iff a deadlock is (Theorem 1)
+    and the reduction preserves every reachable deadlock state.  The
+    verdict is identical to plain; the witness is the first cyclic
+    prefix in the {e reduced} BFS order (valid, but possibly a
+    different prefix than the plain engine returns), identical for
+    every [jobs]. *)
 val find :
-  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> witness option
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  System.t ->
+  witness option
 
 (** [deadlock_free sys] iff no reachable state has a cyclic reduction
     graph — by Theorem 1 this is equivalent to
     {!Ddlock_schedule.Explore.deadlock_free}.  The verdict is identical
-    for every [jobs] and either [symmetry] flag. *)
+    for every [jobs] and any combination of the [symmetry]/[por]
+    flags. *)
 val deadlock_free :
-  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> bool
+  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> ?por:bool -> System.t -> bool
 
 (** All deadlock prefixes (reachable states with cyclic R).  With
     [jobs > 1] the result is in deterministic BFS discovery order; with
-    [~symmetry:true] one representative per deadlock-prefix orbit. *)
+    [~symmetry:true] one representative per deadlock-prefix orbit; with
+    [~por:true] the cyclic states of the reduced space — a subset of
+    the plain result that is nonempty iff the plain result is. *)
 val all :
-  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> System.t -> State.t Seq.t
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  System.t ->
+  State.t Seq.t

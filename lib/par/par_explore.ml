@@ -51,6 +51,17 @@ module Obs = struct
   let frontier = M.Histogram.make "par.frontier_states"
   let imbalance = M.Histogram.make "par.shard_imbalance"
   let frontier_peak = M.Gauge.make "par.frontier_peak"
+
+  (* Shared with the sequential reduced engine; bumped once per work-item
+     expansion in phase A.  The work-item multiset is jobs-invariant (the
+     covering-rule replay in phase C is sequential), so the totals are
+     jobs-invariant like [explore.states_visited]. *)
+  let por_pruned = M.Counter.make "por.pruned"
+  let por_persistent_size = M.Counter.make "por.persistent_size"
+
+  let por_expand ~enabled ~persistent ~selected =
+    M.Counter.add por_pruned (enabled - selected);
+    M.Counter.add por_persistent_size persistent
 end
 
 (* A search instance over an abstract node type: the plain state space
@@ -314,16 +325,230 @@ let initial_node canon sys =
   | None -> State.initial sys
   | Some c -> fst (Canon.normalize c (State.initial sys))
 
+(* ---------------- partial-order reduced state space ----------------
+
+   Persistent/sleep-set selective search ({!Ddlock_schedule.Indep}),
+   parallelized with the same three-phase level discipline as
+   [search_core].  Work items are (state, sleep set) pairs.  Unlike
+   the plain engine, phase B performs NO deduplication: an arrival at
+   an already-stored state still matters — the sequential
+   covering-rule replay in phase C shrinks the stored sleep set to the
+   intersection and re-enqueues the state when the arrival's sleep set
+   does not cover it.  Phase C processes candidates in (parent
+   work-item rank, successor index) order, which is exactly the
+   sequential [Explore] reduced queue order, so tables, sleep sets,
+   work-item streams, telemetry totals, the cap and the first goal
+   state are all bit-identical to the sequential reduced engine for
+   every [jobs]. *)
+
+type por_item = {
+  wrank : int;
+  wkey : string;
+  wnode : State.t;
+  wsleep : Step.t list;
+}
+
+type por_cand = {
+  pckey : string;
+  pcnode : State.t;
+  pcmoved : bool;
+  pcsleep : Step.t list;
+  pparent_rank : int;
+  pparent_key : string;
+  pvia : Step.t;
+  pord : int;
+  mutable phit : bool;
+}
+
+let por_cand_order a b =
+  match compare a.pparent_rank b.pparent_rank with
+  | 0 -> compare a.pord b.pord
+  | c -> c
+
+let por_core ~max_states ~jobs ~canon ~restrict ~found sys =
+  validate_jobs jobs;
+  Obs.M.Counter.incr Obs.searches;
+  Obs.T.span "par.por" ~args:[ ("jobs", string_of_int jobs) ] @@ fun () ->
+  let t =
+    { jobs; shards = Array.init jobs (fun _ -> Hashtbl.create 256); total = 0 }
+  in
+  if max_states < 1 then raise (Explore.Too_large 0);
+  let init = initial_node canon sys in
+  let ikey = State.key init in
+  Hashtbl.add t.shards.(shard_key ~jobs ikey) ikey
+    { node = init; parent = None; via = None; rank = 0 };
+  t.total <- 1;
+  Obs.M.Counter.incr Obs.states_visited;
+  let sleeps : (string, Step.t list) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace sleeps ikey [];
+  if found init then Witness ([], init)
+  else begin
+    let frontier =
+      ref [| { wrank = 0; wkey = ikey; wnode = init; wsleep = [] } |]
+    in
+    let next_wrank = ref 1 in
+    let witness = ref None in
+    while Option.is_none !witness && Array.length !frontier > 0 do
+      let fr = !frontier in
+      let nfr = Array.length fr in
+      Obs.M.Counter.incr Obs.levels;
+      Obs.M.Histogram.observe Obs.frontier nfr;
+      Obs.M.Gauge.set_max Obs.frontier_peak nfr;
+      let chans = Array.init jobs (fun _ -> Par_channel.create ()) in
+      (* Phase A: parallel selective expansion. *)
+      run_phase ~jobs (fun w ->
+          Obs.T.span "par.por_expand" @@ fun () ->
+          let buckets = Array.make jobs [] in
+          let i = ref w in
+          while !i < nfr do
+            let it = fr.(!i) in
+            let exp = Indep.expand ?canon sys it.wnode ~sleep:it.wsleep in
+            Obs.por_expand ~enabled:exp.Indep.enabled_count
+              ~persistent:exp.Indep.persistent_count
+              ~selected:(List.length exp.Indep.succs);
+            List.iteri
+              (fun ord { Indep.step; succ; moved; sleep } ->
+                if restrict succ then begin
+                  let ckey = State.key succ in
+                  let s = shard_key ~jobs ckey in
+                  buckets.(s) <-
+                    {
+                      pckey = ckey;
+                      pcnode = succ;
+                      pcmoved = moved;
+                      pcsleep = sleep;
+                      pparent_rank = it.wrank;
+                      pparent_key = it.wkey;
+                      pvia = step;
+                      pord = ord;
+                      phit = false;
+                    }
+                    :: buckets.(s)
+                end)
+              exp.Indep.succs;
+            i := !i + jobs
+          done;
+          Array.iteri
+            (fun s b ->
+              if b <> [] then begin
+                Obs.M.Counter.add Obs.handoffs (List.length b);
+                Par_channel.send chans.(s) b
+              end)
+            buckets);
+      (* Phase B: per-shard sort (no dedup — the covering rule needs
+         every arrival) and goal pre-evaluation for possibly-new keys. *)
+      let per_shard = Array.make jobs [||] in
+      run_phase ~jobs (fun j ->
+          Obs.T.span "par.por_collect" @@ fun () ->
+          let arr =
+            Array.of_list (List.concat (Par_channel.drain chans.(j)))
+          in
+          Array.sort por_cand_order arr;
+          Array.iter
+            (fun c ->
+              if not (Hashtbl.mem t.shards.(j) c.pckey) then
+                c.phit <- found c.pcnode)
+            arr;
+          per_shard.(j) <- arr);
+      (* Phase C: sequential covering-rule replay in global candidate
+         order. *)
+      Obs.T.span "par.por_reduce" @@ fun () ->
+      let next = ref [] and nnext = ref 0 in
+      let idx = Array.make jobs 0 in
+      let stop = ref false in
+      while not !stop do
+        let bestj = ref (-1) in
+        for j = 0 to jobs - 1 do
+          if
+            idx.(j) < Array.length per_shard.(j)
+            && (!bestj < 0
+               || por_cand_order per_shard.(j).(idx.(j))
+                    per_shard.(!bestj).(idx.(!bestj))
+                  < 0)
+          then bestj := j
+        done;
+        if !bestj < 0 then stop := true
+        else begin
+          let j = !bestj in
+          let c = per_shard.(j).(idx.(j)) in
+          idx.(j) <- idx.(j) + 1;
+          match Hashtbl.find_opt sleeps c.pckey with
+          | None ->
+              if t.total >= max_states then raise (Explore.Too_large t.total);
+              let rank = t.total in
+              Hashtbl.add t.shards.(j) c.pckey
+                {
+                  node = c.pcnode;
+                  parent = Some c.pparent_key;
+                  via = Some c.pvia;
+                  rank;
+                };
+              t.total <- t.total + 1;
+              Obs.M.Counter.incr Obs.states_visited;
+              if c.pcmoved then Obs.M.Counter.incr Obs.canon_hits;
+              Hashtbl.replace sleeps c.pckey c.pcsleep;
+              if c.phit then begin
+                witness := Some (Option.get (path_to t c.pckey), c.pcnode);
+                stop := true
+              end
+              else begin
+                next :=
+                  {
+                    wrank = !next_wrank;
+                    wkey = c.pckey;
+                    wnode = c.pcnode;
+                    wsleep = c.pcsleep;
+                  }
+                  :: !next;
+                incr next_wrank;
+                incr nnext
+              end
+          | Some stored -> (
+              match Indep.sleep_covered ~stored ~incoming:c.pcsleep with
+              | `Covered -> ()
+              | `Shrink z ->
+                  Hashtbl.replace sleeps c.pckey z;
+                  let node = (Option.get (find_entry t c.pckey)).node in
+                  next :=
+                    { wrank = !next_wrank; wkey = c.pckey; wnode = node;
+                      wsleep = z }
+                    :: !next;
+                  incr next_wrank;
+                  incr nnext)
+        end
+      done;
+      frontier :=
+        (match !witness with
+        | Some _ -> [||]
+        | None ->
+            let n = !nnext in
+            let arr =
+              Array.make n { wrank = 0; wkey = ikey; wnode = init; wsleep = [] }
+            in
+            List.iteri (fun i x -> arr.(n - 1 - i) <- x) !next;
+            arr)
+    done;
+    match !witness with
+    | Some (steps, n) -> Witness (steps, n)
+    | None -> Space t
+  end
+
 type space = { sys : System.t; tbl : State.t table; canon : Canon.t option }
 
-let explore ?(max_states = Explore.default_cap) ?(symmetry = false) ~jobs sys =
+let explore ?(max_states = Explore.default_cap) ?(symmetry = false)
+    ?(por = false) ~jobs sys =
   let canon = Explore.active_canon ~symmetry sys in
-  match
-    search_core ~max_states ~jobs
-      ~ops:(plain_or_sym_ops canon sys ~restrict:(fun _ -> true)
-              ~found:(fun _ -> false))
-      (initial_node canon sys)
-  with
+  let outcome =
+    if por then
+      por_core ~max_states ~jobs ~canon ~restrict:(fun _ -> true)
+        ~found:(fun _ -> false) sys
+    else
+      search_core ~max_states ~jobs
+        ~ops:(plain_or_sym_ops canon sys ~restrict:(fun _ -> true)
+                ~found:(fun _ -> false))
+        (initial_node canon sys)
+  in
+  match outcome with
   | Space tbl -> { sys; tbl; canon }
   | Witness _ -> assert false
 
@@ -354,23 +579,39 @@ let schedule_to sp st =
         (path_to sp.tbl (Canon.canon_key c st))
 
 let bfs ?(max_states = Explore.default_cap) ?(restrict = fun _ -> true)
-    ?(symmetry = false) ~jobs sys ~found =
+    ?(symmetry = false) ?(por = false) ~jobs sys ~found =
   let canon = Explore.active_canon ~symmetry sys in
-  match
-    search_core ~max_states ~jobs
-      ~ops:(plain_or_sym_ops canon sys ~restrict ~found)
-      (initial_node canon sys)
-  with
+  let outcome =
+    if por then por_core ~max_states ~jobs ~canon ~restrict ~found sys
+    else
+      search_core ~max_states ~jobs
+        ~ops:(plain_or_sym_ops canon sys ~restrict ~found)
+        (initial_node canon sys)
+  in
+  match outcome with
   | Space _ -> None
   | Witness (steps, st) -> (
       match canon with
       | None -> Some (steps, st)
       | Some c -> Some (Canon.realize c steps))
 
-let find_deadlock ?max_states ?symmetry ~jobs sys =
+let find_deadlock ?max_states ?symmetry ?(por = false) ~jobs sys =
+  let dead st = State.is_deadlock sys st in
   let r =
-    bfs ?max_states ?symmetry ~jobs sys
-      ~found:(fun st -> State.is_deadlock sys st)
+    if por then
+      (* Same witness-canonicalization contract as the sequential
+         engine: verdict from the reduced search, witness from a plain
+         non-symmetric re-search (itself bit-identical to the
+         sequential one), falling back to the valid reduced witness if
+         the re-search blows the budget. *)
+      match bfs ?max_states ?symmetry ~por:true ~jobs sys ~found:dead with
+      | None -> None
+      | Some raw -> (
+          match bfs ?max_states ~jobs sys ~found:dead with
+          | Some w -> Some w
+          | None -> Some raw
+          | exception Explore.Too_large _ -> Some raw)
+    else bfs ?max_states ?symmetry ~jobs sys ~found:dead
   in
   if r <> None then begin
     Obs.M.Counter.incr Obs.deadlock_witnesses;
@@ -378,8 +619,12 @@ let find_deadlock ?max_states ?symmetry ~jobs sys =
   end;
   r
 
-let deadlock_free ?max_states ?symmetry ~jobs sys =
-  Option.is_none (find_deadlock ?max_states ?symmetry ~jobs sys)
+let deadlock_free ?max_states ?symmetry ?(por = false) ~jobs sys =
+  if por then
+    bfs ?max_states ?symmetry ~por:true ~jobs sys
+      ~found:(fun st -> State.is_deadlock sys st)
+    = None
+  else Option.is_none (find_deadlock ?max_states ?symmetry ~jobs sys)
 
 (* --------------------- Lemma-1 extended space ---------------------- *)
 

@@ -31,8 +31,14 @@ type space
     replaces the raw state key in the dedup shard map (the stored nodes
     are orbit representatives, see {!Ddlock_schedule.Canon}), and orbit
     members pruned by canonical dedup never count against
-    [max_states]. *)
-val explore : ?max_states:int -> ?symmetry:bool -> jobs:int -> System.t -> space
+    [max_states].
+
+    With [~por:true] the space is the persistent/sleep-set reduced
+    space ({!Ddlock_schedule.Indep}): bit-identical to
+    [Explore.explore ~por:true] — same states, ranks and schedules —
+    for every [jobs], and composes with [~symmetry:true]. *)
+val explore :
+  ?max_states:int -> ?symmetry:bool -> ?por:bool -> jobs:int -> System.t -> space
 
 val system : space -> System.t
 val jobs : space -> int
@@ -55,25 +61,34 @@ val schedule_to : space -> State.t -> Step.t list option
     the same [symmetry] flag.  [found] and [restrict] are evaluated
     concurrently on worker domains and must be pure; with
     [~symmetry:true] they see orbit representatives and must be
-    invariant under identical-transaction permutations. *)
+    invariant under identical-transaction permutations.
+
+    With [~por:true] the search runs over the reduced space and is
+    bit-identical to [Explore.bfs ~por:true]; sound only for
+    predicates implied by deadlock (see {!Explore.bfs}). *)
 val bfs :
   ?max_states:int ->
   ?restrict:(State.t -> bool) ->
   ?symmetry:bool ->
+  ?por:bool ->
   jobs:int ->
   System.t ->
   found:(State.t -> bool) ->
   (Step.t list * State.t) option
 
+(** With [~por:true], verdict from the reduced search and witness from
+    a plain non-symmetric re-search — byte-identical to the
+    sequential [Explore.find_deadlock ~por:true] for every [jobs]. *)
 val find_deadlock :
   ?max_states:int ->
   ?symmetry:bool ->
+  ?por:bool ->
   jobs:int ->
   System.t ->
   (Step.t list * State.t) option
 
 val deadlock_free :
-  ?max_states:int -> ?symmetry:bool -> jobs:int -> System.t -> bool
+  ?max_states:int -> ?symmetry:bool -> ?por:bool -> jobs:int -> System.t -> bool
 
 (** {1 Lemma-1 searches (safety)}
 

@@ -26,6 +26,21 @@ module Obs = struct
   let canon_hits = Ddlock_obs.Metrics.Counter.make "canon.hits"
   let orbit_gauge = Ddlock_obs.Metrics.Gauge.make "canon.orbit_size"
   let hit moved = if moved then Ddlock_obs.Metrics.Counter.incr canon_hits
+
+  (* Partial-order-reduction telemetry, bumped once per work-item
+     expansion.  The work-item multiset is invariant under [jobs] (the
+     parallel engine replays the sequential covering-rule decisions in
+     candidate order), so both totals are jobs-invariant.
+     [por_pruned] sums the enabled transitions not expanded;
+     [por_persistent_size] sums the persistent-set sizes. *)
+  let por_pruned = Ddlock_obs.Metrics.Counter.make "por.pruned"
+
+  let por_persistent_size =
+    Ddlock_obs.Metrics.Counter.make "por.persistent_size"
+
+  let por_expand ~enabled ~persistent ~selected =
+    Ddlock_obs.Metrics.Counter.add por_pruned (enabled - selected);
+    Ddlock_obs.Metrics.Counter.add por_persistent_size persistent
 end
 
 type entry = { state : State.t; parent : string option; via : Step.t option }
@@ -71,40 +86,6 @@ let check_room count max_states =
   Ddlock_obs.Cancel.poll ();
   if count >= max_states then raise (Too_large count)
 
-let explore ?(max_states = default_cap) ?(symmetry = false) sys =
-  Ddlock_obs.Metrics.Counter.incr Obs.searches;
-  Obs.T.span "explore.explore" @@ fun () ->
-  let canon = active_canon ~symmetry sys in
-  let norm = normalizer canon in
-  let table = Hashtbl.create 1024 in
-  let q = Queue.create () in
-  let init, _ = norm (State.initial sys) in
-  check_room 0 max_states;
-  Hashtbl.replace table (State.key init) { state = init; parent = None; via = None };
-  Obs.visit ();
-  Queue.push init q;
-  while not (Queue.is_empty q) do
-    let st = Queue.pop q in
-    let k = State.key st in
-    List.iter
-      (fun step ->
-        (* Canonical dedup happens before the cap check: a successor that
-           merely lands in an already-stored orbit never counts against
-           [max_states]. *)
-        let st', moved = norm (State.apply st step) in
-        let k' = State.key st' in
-        if not (Hashtbl.mem table k') then begin
-          check_room (Hashtbl.length table) max_states;
-          Hashtbl.replace table k'
-            { state = st'; parent = Some k; via = Some step };
-          Obs.visit ();
-          Obs.hit moved;
-          Queue.push st' q
-        end)
-      (State.enabled sys st)
-  done;
-  { sys; table; canon }
-
 let system sp = sp.sys
 let state_count sp = Hashtbl.length sp.table
 let states sp = Seq.map (fun (_, e) -> e.state) (Hashtbl.to_seq sp.table)
@@ -136,10 +117,122 @@ let schedule_to sp st =
         (fun steps -> Canon.realize_to c steps st)
         (path_to sp (Canon.canon_key c st))
 
+(* Persistent/sleep-set selective search (partial-order reduction).
+   Work items are (state, key, sleep set); [Indep.expand] selects the
+   persistent steps not in the sleep set and computes each successor's
+   inherited sleep set.  Re-arriving at a stored state with a
+   non-covering sleep set shrinks the stored set to the intersection
+   and re-expands the state (Godefroid's covering rule), so sleeping
+   never suppresses the only path into a deadlock.  Stored sleep sets
+   only shrink, which bounds re-expansions; the table is keyed by
+   state alone, so the reduced search never holds more states than the
+   plain engine.  [found] must be implied by deadlock (evaluated at
+   first insertion only): the persistent-set construction preserves
+   reachability of deadlock states, not of arbitrary targets. *)
+let por_search ?(max_states = default_cap) ?(restrict = fun _ -> true)
+    ?(symmetry = false) sys ~found =
+  Ddlock_obs.Metrics.Counter.incr Obs.searches;
+  Obs.T.span "explore.por" @@ fun () ->
+  let canon = active_canon ~symmetry sys in
+  let table = Hashtbl.create 1024 in
+  let sleeps : (string, Step.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  let init, _ = normalizer canon (State.initial sys) in
+  check_room 0 max_states;
+  let ikey = State.key init in
+  Hashtbl.replace table ikey { state = init; parent = None; via = None };
+  Obs.visit ();
+  Hashtbl.replace sleeps ikey [];
+  let sp = { sys; table; canon } in
+  let finish (steps, st) =
+    match canon with None -> (steps, st) | Some c -> Canon.realize c steps
+  in
+  let result = ref None in
+  if found init then result := Some (finish ([], init))
+  else begin
+    Queue.push (init, ikey, []) q;
+    try
+      while not (Queue.is_empty q) do
+        let st, k, sleep = Queue.pop q in
+        let exp = Indep.expand ?canon sys st ~sleep in
+        Obs.por_expand ~enabled:exp.Indep.enabled_count
+          ~persistent:exp.Indep.persistent_count
+          ~selected:(List.length exp.Indep.succs);
+        List.iter
+          (fun { Indep.step; succ; moved; sleep = child } ->
+            if restrict succ then begin
+              let k' = State.key succ in
+              match Hashtbl.find_opt sleeps k' with
+              | None ->
+                  check_room (Hashtbl.length table) max_states;
+                  Hashtbl.replace table k'
+                    { state = succ; parent = Some k; via = Some step };
+                  Obs.visit ();
+                  Obs.hit moved;
+                  Hashtbl.replace sleeps k' child;
+                  if found succ then begin
+                    result := Some (finish (Option.get (path_to sp k'), succ));
+                    raise Exit
+                  end;
+                  Queue.push (succ, k', child) q
+              | Some stored -> (
+                  match Indep.sleep_covered ~stored ~incoming:child with
+                  | `Covered -> ()
+                  | `Shrink z ->
+                      Hashtbl.replace sleeps k' z;
+                      Queue.push ((Hashtbl.find table k').state, k', z) q)
+            end)
+          exp.Indep.succs
+      done
+    with Exit -> ()
+  end;
+  (!result, sp)
+
+let explore ?(max_states = default_cap) ?(symmetry = false) ?(por = false) sys =
+  if por then
+    snd (por_search ~max_states ~symmetry sys ~found:(fun _ -> false))
+  else begin
+    Ddlock_obs.Metrics.Counter.incr Obs.searches;
+    Obs.T.span "explore.explore" @@ fun () ->
+    let canon = active_canon ~symmetry sys in
+    let norm = normalizer canon in
+    let table = Hashtbl.create 1024 in
+    let q = Queue.create () in
+    let init, _ = norm (State.initial sys) in
+    check_room 0 max_states;
+    Hashtbl.replace table (State.key init)
+      { state = init; parent = None; via = None };
+    Obs.visit ();
+    Queue.push init q;
+    while not (Queue.is_empty q) do
+      let st = Queue.pop q in
+      let k = State.key st in
+      List.iter
+        (fun step ->
+          (* Canonical dedup happens before the cap check: a successor that
+             merely lands in an already-stored orbit never counts against
+             [max_states]. *)
+          let st', moved = norm (State.apply st step) in
+          let k' = State.key st' in
+          if not (Hashtbl.mem table k') then begin
+            check_room (Hashtbl.length table) max_states;
+            Hashtbl.replace table k'
+              { state = st'; parent = Some k; via = Some step };
+            Obs.visit ();
+            Obs.hit moved;
+            Queue.push st' q
+          end)
+        (State.enabled sys st)
+    done;
+    { sys; table; canon }
+  end
+
 (* Breadth-first search with a found predicate, shared by the deadlock and
    targeted searches. *)
 let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true)
-    ?(symmetry = false) sys ~found =
+    ?(symmetry = false) ?(por = false) sys ~found =
+  if por then fst (por_search ~max_states ~restrict ~symmetry sys ~found)
+  else begin
   Ddlock_obs.Metrics.Counter.incr Obs.searches;
   Obs.T.span "explore.bfs" @@ fun () ->
   let canon = active_canon ~symmetry sys in
@@ -189,10 +282,25 @@ let bfs ?(max_states = default_cap) ?(restrict = fun _ -> true)
      with Exit -> ());
     !result
   end
+  end
 
-let find_deadlock ?max_states ?symmetry sys =
+let find_deadlock ?max_states ?symmetry ?(por = false) sys =
+  let dead st = State.is_deadlock sys st in
   let r =
-    bfs ?max_states ?symmetry sys ~found:(fun st -> State.is_deadlock sys st)
+    if por then
+      (* Verdict from the reduced search; witness from a plain
+         non-symmetric re-search so [--por] output is byte-identical to
+         plain [analyze] under every flag combination.  When the plain
+         re-search blows the budget the reduced witness — valid, just
+         not BFS-minimal — is returned instead. *)
+      match bfs ?max_states ?symmetry ~por:true sys ~found:dead with
+      | None -> None
+      | Some raw -> (
+          match bfs ?max_states sys ~found:dead with
+          | Some w -> Some w
+          | None -> Some raw
+          | exception Too_large _ -> Some raw)
+    else bfs ?max_states ?symmetry sys ~found:dead
   in
   if r <> None then begin
     Ddlock_obs.Metrics.Counter.incr Obs.deadlock_witnesses;
@@ -200,8 +308,12 @@ let find_deadlock ?max_states ?symmetry sys =
   end;
   r
 
-let deadlock_free ?max_states ?symmetry sys =
-  find_deadlock ?max_states ?symmetry sys = None
+let deadlock_free ?max_states ?symmetry ?(por = false) sys =
+  if por then
+    bfs ?max_states ?symmetry ~por:true sys
+      ~found:(fun st -> State.is_deadlock sys st)
+    = None
+  else find_deadlock ?max_states ?symmetry sys = None
 
 type counterexample = { steps : Step.t list; cycle : int list }
 

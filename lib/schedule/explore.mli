@@ -37,8 +37,17 @@ type space
     successor that lands in an already-stored orbit is deduplicated
     {e before} the cap check, so pruned orbit members never count
     against [max_states].  When the group is trivial this is exactly
-    the plain exploration. *)
-val explore : ?max_states:int -> ?symmetry:bool -> System.t -> space
+    the plain exploration.
+
+    With [~por:true] the space is the {e reduced} space of the
+    persistent/sleep-set selective search ({!Indep}): a subset of the
+    reachable states (never more than the plain search holds) that
+    still contains every reachable deadlock state.  Stored states have
+    parent pointers, so [schedule_to] works for them; [is_reachable]
+    answers membership in the {e reduced} space only.  Composes with
+    [~symmetry:true] (reduction over orbit representatives). *)
+val explore :
+  ?max_states:int -> ?symmetry:bool -> ?por:bool -> System.t -> space
 
 val system : space -> System.t
 val state_count : space -> int
@@ -69,22 +78,45 @@ val active_canon : symmetry:bool -> System.t -> Canon.t option
     the search runs over orbit representatives — [found] and [restrict]
     must be invariant under identical-transaction permutations — and the
     returned schedule/state are translated back to the original system
-    (the schedule is legal for [sys] and reaches the returned state). *)
+    (the schedule is legal for [sys] and reaches the returned state).
+
+    With [~por:true] the search runs over the persistent/sleep-set
+    reduced space.  Sound only for predicates implied by deadlock
+    (e.g. {!State.is_deadlock} itself, or a cyclic reduction graph):
+    the reduction preserves reachability of deadlock states, not of
+    arbitrary targets.  The returned witness is the first hit in the
+    {e reduced} insertion order — valid but not necessarily the plain
+    BFS-minimal one. *)
 val bfs :
   ?max_states:int ->
   ?restrict:(State.t -> bool) ->
   ?symmetry:bool ->
+  ?por:bool ->
   System.t ->
   found:(State.t -> bool) ->
   (Step.t list * State.t) option
 
 (** {1 Deadlock (Theorem 1 ground truth)} *)
 
-(** First deadlock state found, with a partial schedule reaching it. *)
-val find_deadlock :
-  ?max_states:int -> ?symmetry:bool -> System.t -> (Step.t list * State.t) option
+(** First deadlock state found, with a partial schedule reaching it.
 
-val deadlock_free : ?max_states:int -> ?symmetry:bool -> System.t -> bool
+    With [~por:true] the verdict comes from the reduced search; on a
+    positive verdict the witness is canonicalized by re-running the
+    plain non-symmetric engine, so the result is byte-identical to the
+    plain [find_deadlock] under every flag combination (falling back
+    to the valid reduced witness only if the re-search exceeds
+    [max_states]). *)
+val find_deadlock :
+  ?max_states:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  System.t ->
+  (Step.t list * State.t) option
+
+(** [deadlock_free ?por] — verdict only; with [~por:true] a single
+    reduced search (no witness canonicalization cost). *)
+val deadlock_free :
+  ?max_states:int -> ?symmetry:bool -> ?por:bool -> System.t -> bool
 
 (** {1 Safety and Lemma 1} *)
 

@@ -1,0 +1,72 @@
+Partial-order reduction: --por runs the exhaustive search over a
+persistent/sleep-set reduced state space (independent steps explored in
+one order instead of all).  The verdict AND the reported witness are
+byte-identical to the plain search, and the flag composes with
+--symmetry and --jobs.  Two copies of a 4-ring (the paper's Fig. 2
+shape):
+
+  $ ../../bin/ddlock_cli.exe gen ring -n 4 --copies 2 > fig2.txn
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn > plain.out
+  [1]
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --por > por.out
+  [1]
+  $ diff plain.out por.out
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --por --symmetry --jobs 4 > porsym.out
+  [1]
+  $ diff plain.out porsym.out
+
+The reduction genuinely visits fewer states.  A non-two-phase pair that
+locks a then b in the same order is deadlock-free but defeats the
+polynomial test, so analyze must run the exhaustive search; --stats
+shows the cut (and the por.* counters):
+
+  $ cat > pair.txn << 'EOF'
+  > site s0 { a }
+  > site s1 { b }
+  > txn T_1 {
+  >   L a < U a;
+  >   U a < L b;
+  >   L b < U b;
+  > }
+  > txn T_2 {
+  >   L a < U a;
+  >   U a < L b;
+  >   L b < U b;
+  > }
+  > EOF
+  $ ../../bin/ddlock_cli.exe analyze pair.txn --stats 2>&1 >/dev/null | grep "explore.states_visited"
+    explore.states_visited                 23
+  $ ../../bin/ddlock_cli.exe analyze pair.txn --por --stats 2>&1 >/dev/null | grep -E "explore.states_visited|por\."
+    explore.states_visited                 15
+    por.persistent_size                    16
+    por.pruned                             4
+
+Philosophers have a trivial automorphism group (symmetry gives factor
+1.0) but plenty of independence; minimize's verdict-only probes run
+entirely on the reduced space, so --por strictly cuts the states the
+whole minimization visits while finding the same core:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 4 > phil.txn
+  $ ../../bin/ddlock_cli.exe minimize phil.txn 2>/dev/null > min.out
+  $ ../../bin/ddlock_cli.exe minimize phil.txn --por 2>/dev/null > minpor.out
+  $ diff min.out minpor.out
+  $ plain=$(../../bin/ddlock_cli.exe minimize phil.txn --stats 2>&1 >/dev/null | grep "explore.states_visited" | awk '{print $2}')
+  $ por=$(../../bin/ddlock_cli.exe minimize phil.txn --por --stats 2>&1 >/dev/null | grep "explore.states_visited" | awk '{print $2}')
+  $ test "$por" -lt "$plain" && echo "por visits fewer states"
+  por visits fewer states
+
+When no two steps are independent --por is a warned no-op, not an
+error — the analysis still runs (two copies of a one-entity chain are
+safe and deadlock-free, hence exit 0):
+
+  $ cat > nodep.txn << 'EOF'
+  > site s0 { a }
+  > txn T_1 {
+  >   L a < U a;
+  > }
+  > txn T_2 {
+  >   L a < U a;
+  > }
+  > EOF
+  $ ../../bin/ddlock_cli.exe analyze nodep.txn --por > /dev/null
+  ddlock: --por: no two steps are independent; partial-order reduction is a no-op

@@ -7,6 +7,7 @@ let () =
       ("deadlock", Test_deadlock.suite);
       ("par", Test_par.suite);
       ("sym", Test_sym.suite);
+      ("por", Test_por.suite);
       ("safety", Test_safety.suite);
       ("conp", Test_conp.suite);
       ("sim", Test_sim.suite);
