@@ -35,7 +35,20 @@
      witnesses, reduced state counts never above plain, Theorem-1
      prefix verdicts, composition with --symmetry on copies systems,
      and (under --jobs) par-vs-seq reduced equality plus identical
-     por.pruned / por.persistent_size counter totals.
+     por.pruned / por.persistent_size counter totals;
+   - with [--fast] (requires --jobs >= 2): the relaxed work-stealing
+     engine (Par_explore ~mode:`Fast) vs the sequential ground truth —
+     byte-identical find_deadlock results (fast re-canonicalizes its
+     witness exactly like --por), identical state counts, identical
+     Lemma-1 counterexamples, Theorem-1 prefix verdicts, legality /
+     endpoint / deadlock of the raw (un-canonicalized) bfs witness via
+     Schedule replay, and composition with --symmetry / --por.  The
+     par.steals / par.intern_hits / par.arena_reuse counters are
+     intentionally NOT cross-checked: they are racy by design and the
+     jobs-invariance contract exempts them.
+
+   The every-100-rounds summary line also reports cumulative per-engine
+   wall-clock, so long soaks double as a coarse perf regression check.
 *)
 
 open Ddlock
@@ -45,6 +58,7 @@ let () =
   let rounds = ref 500 and seed = ref 1 and txns = ref 3 and jobs = ref 1 in
   let symmetry = ref false in
   let por = ref false in
+  let fast = ref false in
   let args =
     [
       ("--rounds", Arg.Set_int rounds, "number of rounds (default 500)");
@@ -62,6 +76,10 @@ let () =
         Arg.Set por,
         "also cross-check the persistent/sleep-set reduced engines against \
          the plain ones every round" );
+      ( "--fast",
+        Arg.Set fast,
+        "also cross-check the relaxed work-stealing engine against the \
+         sequential ground truth every round (requires --jobs >= 2)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "fuzz [options]";
@@ -69,6 +87,26 @@ let () =
     prerr_endline "fuzz: --jobs must be >= 1";
     exit 2
   end;
+  if !fast && !jobs < 2 then begin
+    prerr_endline "fuzz: --fast requires --jobs N with N >= 2";
+    exit 2
+  end;
+  (* Cumulative wall-clock per engine family, reported every 100 rounds. *)
+  let timers = Hashtbl.create 8 in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Hashtbl.replace timers name
+      ((try Hashtbl.find timers name with Not_found -> 0.) +. dt);
+    r
+  in
+  let timer_summary () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) timers []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> Printf.sprintf "%s %.2fs" k v)
+    |> String.concat " "
+  in
   let failures = ref 0 in
   let report name round =
     incr failures;
@@ -79,7 +117,10 @@ let () =
     (* --- pairs --- *)
     let pair_sys = Workload.Gentx.small_random_pair st in
     let t1 = System.txn pair_sys 0 and t2 = System.txn pair_sys 1 in
-    let exh = Result.is_ok (Sched.Explore.safe_and_deadlock_free pair_sys) in
+    let exh =
+      timed "seq" (fun () ->
+          Result.is_ok (Sched.Explore.safe_and_deadlock_free pair_sys))
+    in
     if Safety.Pair.safe_and_deadlock_free t1 t2 <> exh then
       report "Theorem 3" round;
     if Safety.Minimal_prefix.safe_and_deadlock_free t1 t2 <> exh then
@@ -101,11 +142,17 @@ let () =
     then report "geometry safety" round;
     (* --- k transactions --- *)
     let sys = Workload.Gentx.small_random_system ~sites:2 ~entities:3 st ~txns:!txns in
-    let sys_safe_df = Result.is_ok (Sched.Explore.safe_and_deadlock_free sys) in
+    let sys_safe_df =
+      timed "seq" (fun () ->
+          Result.is_ok (Sched.Explore.safe_and_deadlock_free sys))
+    in
     if Safety.Many.safe_and_deadlock_free sys <> sys_safe_df then
       report "Theorem 4" round;
     (* --- recovery invariants --- *)
-    let r = Sim.Recovery.run ~scheme:Sim.Recovery.Wound_wait st sys in
+    let r =
+      timed "sim" (fun () ->
+          Sim.Recovery.run ~scheme:Sim.Recovery.Wound_wait st sys)
+    in
     if r.Sim.Recovery.stats.Sim.Recovery.timed_out then
       report "wound-wait timeout" round
     else if
@@ -139,6 +186,7 @@ let () =
       ];
     (* --- parallel engine vs sequential ground truth --- *)
     if !jobs > 1 then begin
+      timed "par" @@ fun () ->
       let j = 2 + (round mod (!jobs - 1)) in
       if
         Par.Par_explore.find_deadlock ~jobs:j sys
@@ -176,6 +224,7 @@ let () =
     end;
     (* --- symmetry-reduced engines vs plain ground truth --- *)
     if !symmetry then begin
+      timed "sym" @@ fun () ->
       (* Generic k-transaction system: same verdict, legal witness. *)
       (match
          ( Sched.Explore.find_deadlock sys,
@@ -243,6 +292,7 @@ let () =
     end;
     (* --- partial-order-reduced engines vs plain ground truth --- *)
     if !por then begin
+      timed "por" @@ fun () ->
       (* Verdict AND witness are byte-identical: the reduced search
          decides, a plain re-search canonicalizes the witness. *)
       let plain = Sched.Explore.find_deadlock sys in
@@ -296,6 +346,64 @@ let () =
           report "por counter determinism" round
       end
     end;
+    (* --- relaxed work-stealing engine vs sequential ground truth --- *)
+    if !fast then begin
+      timed "fast" @@ fun () ->
+      let j = 2 + (round mod (!jobs - 1)) in
+      let plain = Sched.Explore.find_deadlock sys in
+      (* find_deadlock re-canonicalizes (same contract as --por), so the
+         result is byte-identical to the sequential engine's. *)
+      if Par.Par_explore.find_deadlock ~mode:`Fast ~jobs:j sys <> plain then
+        report "fast find_deadlock" round;
+      if
+        Par.Par_explore.state_count
+          (Par.Par_explore.explore ~mode:`Fast ~jobs:j sys)
+        <> Sched.Explore.state_count (Sched.Explore.explore sys)
+      then report "fast state count" round;
+      if
+        Par.Par_explore.safe_and_deadlock_free ~mode:`Fast ~jobs:j pair_sys
+        <> Sched.Explore.safe_and_deadlock_free pair_sys
+      then report "fast lemma1" round;
+      if
+        Deadlock.Prefix_search.find ~fast:true ~jobs:j sys = None
+        <> (Deadlock.Prefix_search.find sys = None)
+      then report "fast prefix verdict" round;
+      (* The raw relaxed witness (before canonicalization) is whichever
+         deadlock a worker reached first: not deterministic, but always a
+         legal schedule whose replay ends in its deadlocked endpoint. *)
+      (match
+         Par.Par_explore.bfs ~mode:`Fast ~jobs:j sys
+           ~found:(Sched.State.is_deadlock sys)
+       with
+      | None -> if plain <> None then report "fast bfs verdict" round
+      | Some (sched, stf) ->
+          if plain = None then report "fast bfs verdict" round
+          else if not (Sched.Schedule.is_legal sys sched) then
+            report "fast witness legality" round
+          else if
+            not (Sched.State.equal (Sched.Schedule.prefix_vector sys sched) stf)
+          then report "fast witness endpoint" round
+          else if not (Sched.State.is_deadlock sys stf) then
+            report "fast witness deadlock" round);
+      (* Composition: re-canonicalization makes fast+sym / fast+por land
+         on the plain sequential result too. *)
+      if !symmetry then
+        if
+          Par.Par_explore.find_deadlock ~mode:`Fast ~symmetry:true ~jobs:j sys
+          <> plain
+        then report "fast+sym verdict" round;
+      if !por then begin
+        if
+          Par.Par_explore.find_deadlock ~mode:`Fast ~por:true ~jobs:j sys
+          <> plain
+        then report "fast+por verdict" round;
+        if
+          Par.Par_explore.state_count
+            (Par.Par_explore.explore ~mode:`Fast ~por:true ~jobs:j sys)
+          > Sched.Explore.state_count (Sched.Explore.explore sys)
+        then report "fast por state-count bound" round
+      end
+    end;
     (* --- rw invariants --- *)
     let rwdb = Workload.Gentx.random_db ~sites:1 ~entities:3 in
     let rwmk () =
@@ -319,7 +427,8 @@ let () =
       && not (Rw.Rw_system.deadlock_free rwsys)
     then report "rw abstraction soundness" round;
     if round mod 100 = 0 then
-      Format.printf "round %d/%d: %d disagreements@." round !rounds !failures
+      Format.printf "round %d/%d: %d disagreements [%s]@." round !rounds
+        !failures (timer_summary ())
   done;
   Format.printf "done: %d rounds, %d disagreements@." !rounds !failures;
   exit (if !failures = 0 then 0 else 1)

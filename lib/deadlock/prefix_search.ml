@@ -29,97 +29,73 @@ let cyclic sys st = Reduction.has_cycle (Reduction.make sys st)
    representatives; the engines hand back a schedule and prefix already
    translated to the original system, and the cycle is recomputed on that
    real prefix. *)
-let find ?max_states ?(jobs = 1) ?(symmetry = false) ?(por = false) sys =
+let find ?max_states ?(jobs = 1) ?(symmetry = false) ?(por = false)
+    ?(fast = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
   Obs_t.span "prefix_search.find" @@ fun () ->
+  (* With [~por:true] the goal-directed search is sound because a
+     cyclic reduction graph is reachable iff a deadlock state is
+     (Theorem 1), and the persistent/sleep-set reduction preserves
+     every reachable deadlock state.  With [~por]/[~fast] the witness
+     is the first cyclic prefix in the reduced/relaxed order — valid,
+     not necessarily the plain engine's choice. *)
+  let of_witness = function
+    | None -> None
+    | Some (schedule, prefix) ->
+        let cycle =
+          match Reduction.find_cycle (Reduction.make sys prefix) with
+          | Some c -> c
+          | None -> assert false
+        in
+        Some { prefix; schedule; cycle }
+  in
+  let goal_bfs ~por =
+    if jobs = 1 && not fast then
+      Explore.bfs ?max_states ~symmetry ~por sys ~found:(cyclic sys)
+    else
+      let mode = if fast then `Fast else `Deterministic in
+      Ddlock_par.Par_explore.bfs ?max_states ~symmetry ~por ~mode ~jobs sys
+        ~found:(cyclic sys)
+  in
   let r =
-    if por then
-      (* The reduced search is sound for this goal because a cyclic
-         reduction graph is reachable iff a deadlock state is (Theorem
-         1), and the persistent/sleep-set reduction preserves every
-         reachable deadlock state.  The witness is the first cyclic
-         prefix in the reduced order — valid, not necessarily the
-         plain engine's choice. *)
-      let witness =
-        if jobs = 1 then
-          Explore.bfs ?max_states ~symmetry ~por:true sys ~found:(cyclic sys)
-        else
-          Ddlock_par.Par_explore.bfs ?max_states ~symmetry ~por:true ~jobs sys
-            ~found:(cyclic sys)
-      in
-      match witness with
-      | None -> None
-      | Some (schedule, prefix) ->
-          let cycle =
-            match Reduction.find_cycle (Reduction.make sys prefix) with
-            | Some c -> c
-            | None -> assert false
-          in
-          Some { prefix; schedule; cycle }
-    else if symmetry then
-      let witness =
-        if jobs = 1 then
-          Explore.bfs ?max_states ~symmetry sys ~found:(cyclic sys)
-        else
-          Ddlock_par.Par_explore.bfs ?max_states ~symmetry ~jobs sys
-            ~found:(cyclic sys)
-      in
-      match witness with
-      | None -> None
-      | Some (schedule, prefix) ->
-          let cycle =
-            match Reduction.find_cycle (Reduction.make sys prefix) with
-            | Some c -> c
-            | None -> assert false
-          in
-          Some { prefix; schedule; cycle }
+    if por then of_witness (goal_bfs ~por:true)
+    else if symmetry || fast then of_witness (goal_bfs ~por:false)
     else if jobs = 1 then
       match scan ?max_states sys () with
       | Seq.Nil -> None
       | Seq.Cons ((prefix, cycle, sp), _) ->
           let schedule = Option.get (Explore.schedule_to sp prefix) in
           Some { prefix; schedule; cycle }
-    else
-      match
-        Ddlock_par.Par_explore.bfs ?max_states ~jobs sys ~found:(cyclic sys)
-      with
-      | None -> None
-      | Some (schedule, prefix) ->
-          let cycle =
-            match Reduction.find_cycle (Reduction.make sys prefix) with
-            | Some c -> c
-            | None -> assert false
-          in
-          Some { prefix; schedule; cycle }
+    else of_witness (goal_bfs ~por:false)
   in
   if r <> None then Ddlock_obs.Metrics.Counter.incr obs_prefix_witnesses;
   r
 
-let deadlock_free ?max_states ?jobs ?symmetry ?por sys =
-  find ?max_states ?jobs ?symmetry ?por sys = None
+let deadlock_free ?max_states ?jobs ?symmetry ?por ?fast sys =
+  find ?max_states ?jobs ?symmetry ?por ?fast sys = None
 
-let all ?max_states ?(jobs = 1) ?(symmetry = false) ?(por = false) sys =
+let all ?max_states ?(jobs = 1) ?(symmetry = false) ?(por = false)
+    ?(fast = false) sys =
   Ddlock_par.Par_explore.validate_jobs jobs;
+  let par_states ~por =
+    let mode = if fast then `Fast else `Deterministic in
+    let sp =
+      Ddlock_par.Par_explore.explore ?max_states ~symmetry ~por ~mode ~jobs sys
+    in
+    Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)
+  in
   if por then
     (* Cyclic states of the reduced space: a subset of the plain
        result, nonempty iff the plain result is (Theorem 1 again). *)
-    if jobs = 1 then
+    if jobs = 1 && not fast then
       let sp = Explore.explore ?max_states ~symmetry ~por:true sys in
       Seq.filter (cyclic sys) (Explore.states sp)
-    else
-      let sp =
-        Ddlock_par.Par_explore.explore ?max_states ~symmetry ~por:true ~jobs
-          sys
-      in
-      Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)
+    else par_states ~por:true
   else if symmetry then
-    if jobs = 1 then
+    if jobs = 1 && not fast then
       let sp = Explore.explore ?max_states ~symmetry sys in
       Seq.filter (cyclic sys) (Explore.states sp)
-    else
-      let sp = Ddlock_par.Par_explore.explore ?max_states ~symmetry ~jobs sys in
-      Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)
-  else if jobs = 1 then Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)
-  else
-    let sp = Ddlock_par.Par_explore.explore ?max_states ~jobs sys in
-    Seq.filter (cyclic sys) (Ddlock_par.Par_explore.states sp)
+    else par_states ~por:false
+  else if jobs = 1 && not fast then
+    Seq.map (fun (st, _, _) -> st) (scan ?max_states sys)
+  else par_states ~por:false

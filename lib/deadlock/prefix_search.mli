@@ -38,12 +38,19 @@ type witness = {
     verdict is identical to plain; the witness is the first cyclic
     prefix in the {e reduced} BFS order (valid, but possibly a
     different prefix than the plain engine returns), identical for
-    every [jobs]. *)
+    every [jobs].
+
+    With [~fast:true] the search runs on the relaxed work-stealing
+    engine ([~mode:`Fast] of {!Ddlock_par.Par_explore}) for any [jobs]
+    (including 1).  The verdict is identical to plain; the witness is
+    whichever cyclic prefix a worker reached first — valid, but not
+    deterministic across runs. *)
 val find :
   ?max_states:int ->
   ?jobs:int ->
   ?symmetry:bool ->
   ?por:bool ->
+  ?fast:bool ->
   System.t ->
   witness option
 
@@ -53,17 +60,26 @@ val find :
     for every [jobs] and any combination of the [symmetry]/[por]
     flags. *)
 val deadlock_free :
-  ?max_states:int -> ?jobs:int -> ?symmetry:bool -> ?por:bool -> System.t -> bool
+  ?max_states:int ->
+  ?jobs:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  ?fast:bool ->
+  System.t ->
+  bool
 
 (** All deadlock prefixes (reachable states with cyclic R).  With
     [jobs > 1] the result is in deterministic BFS discovery order; with
     [~symmetry:true] one representative per deadlock-prefix orbit; with
     [~por:true] the cyclic states of the reduced space — a subset of
-    the plain result that is nonempty iff the plain result is. *)
+    the plain result that is nonempty iff the plain result is.  With
+    [~fast:true] the same state {e set} in fast shard order (or a
+    valid reduced set, under [~por:true]). *)
 val all :
   ?max_states:int ->
   ?jobs:int ->
   ?symmetry:bool ->
   ?por:bool ->
+  ?fast:bool ->
   System.t ->
   State.t Seq.t

@@ -48,6 +48,15 @@ module Obs = struct
   let canon_hits = M.Counter.make "canon.hits"
   let levels = M.Counter.make "par.levels"
   let handoffs = M.Counter.make "par.handoffs"
+
+  (* Fast-mode machinery.  These describe racy scheduling decisions
+     (who stole what, which arrival deduplicated) and are NOT
+     jobs-invariant — unlike every deterministic-mode counter.  The
+     deterministic engine never touches them, so the fuzz counter
+     cross-check can keep asserting jobs-invariance for it. *)
+  let steals = M.Counter.make "par.steals"
+  let intern_hits = M.Counter.make "par.intern_hits"
+  let arena_reuse = M.Counter.make "par.arena_reuse"
   let frontier = M.Histogram.make "par.frontier_states"
   let imbalance = M.Histogram.make "par.shard_imbalance"
   let frontier_peak = M.Gauge.make "par.frontier_peak"
@@ -68,6 +77,8 @@ end
    and the Lemma-1 extended space both instantiate this. *)
 type 'n ops = {
   key : 'n -> string;
+  hash : 'n -> int;  (* compatible with [equal]; fast-mode intern tables *)
+  equal : 'n -> 'n -> bool;
   next : 'n -> (Step.t * 'n) list;  (* canonical successor order *)
   restrict : 'n -> bool;
   found : 'n -> bool;
@@ -289,6 +300,8 @@ let search_core ~max_states ~jobs ~ops init =
 let state_ops sys ~restrict ~found =
   {
     key = State.key;
+    hash = State.hash;
+    equal = State.equal;
     next =
       (fun st -> List.map (fun s -> (s, State.apply st s)) (State.enabled sys st));
     restrict;
@@ -304,6 +317,8 @@ let state_ops sys ~restrict ~found =
 let sym_state_ops c sys ~restrict ~found =
   {
     key = State.key;
+    hash = State.hash;
+    equal = State.equal;
     next =
       (fun rep ->
         List.map
@@ -533,85 +548,476 @@ let por_core ~max_states ~jobs ~canon ~restrict ~found sys =
     | None -> Space t
   end
 
-type space = { sys : System.t; tbl : State.t table; canon : Canon.t option }
+(* ----------------------- relaxed fast engine -----------------------
+
+   [`Fast] mode drops the per-level barrier and the sequential phase-C
+   reduction entirely: [jobs] workers run independent work-stealing
+   loops ({!Ws_deque}: LIFO owner end, batch FIFO steals), and the
+   visited set is a fixed number of hash shards, each an intern table
+   ({!Ddlock_schedule.Intern}) behind its own mutex.  States never grow
+   string keys — dedup compares structural hashes and [ops.equal], and
+   every stored state gets a dense integer id, so parent pointers and
+   via-steps live in packed int arrays (the arena) instead of per-entry
+   records.
+
+   What is preserved exactly: the set of reachable states (when no
+   witness/cap/cancel stops the search early), hence verdicts; witness
+   VALIDITY (the parent chain is a real path from the initial state).
+   What is relaxed: discovery order, which witness is found first, and
+   which counters tick where ([par.steals] etc. are racy by nature).
+   Callers that need byte-identical output re-canonicalize a positive
+   verdict with a plain re-search, exactly as [`--por`] does.
+
+   Termination: [pending] counts queued-but-unfinished work items
+   (incremented before a push, decremented after the item's expansion
+   completes), so an empty deque with [pending = 0] means the whole
+   search is drained.  Early exit: any worker that finds a witness
+   CASes its id into [witness] and raises the [stop] flag; the
+   [max_states] cap works the same way, so the cap can overshoot by at
+   most the items in flight (never undershoot — the overflow check
+   happens after a genuinely new state is interned).  Worker 0 runs in
+   the calling domain, where it polls {!Ddlock_obs.Cancel} (the poll
+   slot is domain-local), raises [stop] on cancellation and re-raises
+   after joining the other domains — that is how serve deadlines reach
+   the child domains. *)
+
+let fast_shards = 64
+
+type 'n fshard = {
+  flock : Mutex.t;
+  fintern : 'n Intern.t;
+  mutable fparent : int array;  (* global id of the parent; -1 at the root *)
+  mutable fvia_txn : int array;  (* via step, packed; -1 at the root *)
+  mutable fvia_node : int array;
+  mutable fsleep : Step.t list array;  (* POR only: stored sleep sets *)
+}
+
+let fshard_create ~hash ~equal () =
+  {
+    flock = Mutex.create ();
+    fintern = Intern.create ~equal ~hash ();
+    fparent = [||];
+    fvia_txn = [||];
+    fvia_node = [||];
+    fsleep = [||];
+  }
+
+(* Caller holds [flock].  Grow the packed arrays to cover [lid]. *)
+let ensure_arrays sh lid =
+  let cap = Array.length sh.fparent in
+  if lid >= cap then begin
+    let ncap = max 16 (max (lid + 1) (2 * cap)) in
+    let grow a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    sh.fparent <- grow sh.fparent (-1);
+    sh.fvia_txn <- grow sh.fvia_txn (-1);
+    sh.fvia_node <- grow sh.fvia_node (-1);
+    sh.fsleep <- grow sh.fsleep []
+  end
+
+let fast_shard_of ~hash n = hash n land max_int mod fast_shards
+let fast_gid ~shard lid = (lid * fast_shards) + shard
+
+(* Steps from the root to [gid], rebuilt from the packed parent/via
+   chains (read-only after the worker domains have been joined). *)
+let fast_path shards gid0 =
+  let rec go gid acc =
+    let sh = shards.(gid mod fast_shards) and lid = gid / fast_shards in
+    let p = sh.fparent.(lid) in
+    if p < 0 then acc
+    else go p (Step.v sh.fvia_txn.(lid) sh.fvia_node.(lid) :: acc)
+  in
+  go gid0 []
+
+let fast_node shards gid =
+  Intern.get shards.(gid mod fast_shards).fintern (gid / fast_shards)
+
+type 'n fast_space = { fshards : 'n fshard array; ftotal : int }
+type 'n fast_outcome = FSpace of 'n fast_space | FWitness of Step.t list * 'n
+
+(* The work-stealing worker loop shared by the plain and POR fast
+   cores.  [process dq item] expands one work item, pushing children
+   onto [dq]. *)
+let fast_run ~jobs ~stop ~pending ~deques ~process =
+  let worker w =
+    let dq = deques.(w) in
+    let rec steal tries v =
+      if tries >= jobs then 0
+      else if v = w then steal (tries + 1) ((v + 1) mod jobs)
+      else
+        let n = Ws_deque.steal_into dq ~victim:deques.(v) in
+        if n > 0 then n else steal (tries + 1) ((v + 1) mod jobs)
+    in
+    let rec loop () =
+      if w = 0 then Ddlock_obs.Cancel.poll ();
+      if not (Atomic.get stop) then
+        match Ws_deque.pop dq with
+        | Some item ->
+            process dq item;
+            Atomic.decr pending;
+            loop ()
+        | None ->
+            if Atomic.get pending = 0 then ()
+            else begin
+              let stolen = steal 0 ((w + 1) mod jobs) in
+              if stolen > 0 then Obs.M.Counter.add Obs.steals stolen
+              else Domain.cpu_relax ();
+              loop ()
+            end
+    in
+    loop ()
+  in
+  let cancelled = ref None in
+  let doms =
+    Array.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            try worker (i + 1)
+            with e ->
+              Atomic.set stop true;
+              raise e))
+  in
+  (try worker 0
+   with Ddlock_obs.Cancel.Cancelled as e ->
+     Atomic.set stop true;
+     cancelled := Some e);
+  Array.iter Domain.join doms;
+  match !cancelled with Some e -> raise e | None -> ()
+
+let fast_flush_structure_counters shards deques =
+  Obs.M.Counter.add Obs.intern_hits
+    (Array.fold_left (fun a sh -> a + Intern.hits sh.fintern) 0 shards);
+  Obs.M.Counter.add Obs.arena_reuse
+    (Array.fold_left (fun a d -> a + Ws_deque.reuses d) 0 deques)
+
+let fast_finish ~witness ~overflow ~total ~shards =
+  let wgid = Atomic.get witness in
+  if wgid >= 0 then FWitness (fast_path shards wgid, fast_node shards wgid)
+  else if Atomic.get overflow then raise (Explore.Too_large (Atomic.get total))
+  else FSpace { fshards = shards; ftotal = Atomic.get total }
+
+let fast_search_core ~max_states ~jobs ~ops init =
+  validate_jobs jobs;
+  Obs.M.Counter.incr Obs.searches;
+  Obs.T.span "par.fast" ~args:[ ("jobs", string_of_int jobs) ] @@ fun () ->
+  if max_states < 1 then raise (Explore.Too_large 0);
+  let shards =
+    Array.init fast_shards (fun _ ->
+        fshard_create ~hash:ops.hash ~equal:ops.equal ())
+  in
+  let s0 = fast_shard_of ~hash:ops.hash init in
+  let lid0, _ = Intern.intern shards.(s0).fintern init in
+  ensure_arrays shards.(s0) lid0;
+  Obs.M.Counter.incr Obs.states_visited;
+  if ops.found init then FWitness ([], init)
+  else begin
+    let total = Atomic.make 1 in
+    let stop = Atomic.make false in
+    let witness = Atomic.make (-1) in
+    let overflow = Atomic.make false in
+    let pending = Atomic.make 1 in
+    let deques = Array.init jobs (fun _ -> Ws_deque.create ()) in
+    Ws_deque.push deques.(0) (fast_gid ~shard:s0 lid0, init);
+    let telemetry = Ddlock_obs.Control.is_on () in
+    let process dq (pgid, pnode) =
+      List.iter
+        (fun (step, node') ->
+          if (not (Atomic.get stop)) && ops.restrict node' then begin
+            let s = fast_shard_of ~hash:ops.hash node' in
+            let sh = shards.(s) in
+            Mutex.lock sh.flock;
+            let lid, was_new = Intern.intern sh.fintern node' in
+            if was_new then begin
+              ensure_arrays sh lid;
+              sh.fparent.(lid) <- pgid;
+              sh.fvia_txn.(lid) <- step.Step.txn;
+              sh.fvia_node.(lid) <- step.Step.node;
+              Mutex.unlock sh.flock;
+              let before = Atomic.fetch_and_add total 1 in
+              if before >= max_states then begin
+                Atomic.set overflow true;
+                Atomic.set stop true
+              end
+              else begin
+                Obs.M.Counter.incr Obs.states_visited;
+                if telemetry && ops.moved ~parent:pnode step node' then
+                  Obs.M.Counter.incr Obs.canon_hits;
+                if ops.found node' then begin
+                  ignore
+                    (Atomic.compare_and_set witness (-1)
+                       (fast_gid ~shard:s lid));
+                  Atomic.set stop true
+                end
+                else begin
+                  Atomic.incr pending;
+                  Ws_deque.push dq (fast_gid ~shard:s lid, node')
+                end
+              end
+            end
+            else Mutex.unlock sh.flock
+          end)
+        (ops.next pnode)
+    in
+    fast_run ~jobs ~stop ~pending ~deques ~process;
+    fast_flush_structure_counters shards deques;
+    fast_finish ~witness ~overflow ~total ~shards
+  end
+
+(* Fast POR: same worker loop over (gid, state, sleep) work items.  The
+   covering rule runs atomically under the shard lock — it is sound for
+   ANY arrival order (sleeps only ever shrink toward the intersection,
+   and every strict shrink re-expands the state), so no sequential
+   replay is needed; the price is that the reduced space and the
+   [por.*] counter totals depend on the race outcomes. *)
+let fast_por_core ~max_states ~jobs ~canon ~restrict ~found sys =
+  validate_jobs jobs;
+  Obs.M.Counter.incr Obs.searches;
+  Obs.T.span "par.fast_por" ~args:[ ("jobs", string_of_int jobs) ] @@ fun () ->
+  if max_states < 1 then raise (Explore.Too_large 0);
+  let init = initial_node canon sys in
+  let shards =
+    Array.init fast_shards (fun _ ->
+        fshard_create ~hash:State.hash ~equal:State.equal ())
+  in
+  let s0 = fast_shard_of ~hash:State.hash init in
+  let lid0, _ = Intern.intern shards.(s0).fintern init in
+  ensure_arrays shards.(s0) lid0;
+  Obs.M.Counter.incr Obs.states_visited;
+  if found init then FWitness ([], init)
+  else begin
+    let total = Atomic.make 1 in
+    let stop = Atomic.make false in
+    let witness = Atomic.make (-1) in
+    let overflow = Atomic.make false in
+    let pending = Atomic.make 1 in
+    let deques = Array.init jobs (fun _ -> Ws_deque.create ()) in
+    Ws_deque.push deques.(0) (fast_gid ~shard:s0 lid0, init, []);
+    let process dq (pgid, pnode, sleep) =
+      let exp = Indep.expand ?canon sys pnode ~sleep in
+      Obs.por_expand ~enabled:exp.Indep.enabled_count
+        ~persistent:exp.Indep.persistent_count
+        ~selected:(List.length exp.Indep.succs);
+      List.iter
+        (fun { Indep.step; succ; moved; sleep = z } ->
+          if (not (Atomic.get stop)) && restrict succ then begin
+            let s = fast_shard_of ~hash:State.hash succ in
+            let sh = shards.(s) in
+            Mutex.lock sh.flock;
+            let lid, was_new = Intern.intern sh.fintern succ in
+            if was_new then begin
+              ensure_arrays sh lid;
+              sh.fparent.(lid) <- pgid;
+              sh.fvia_txn.(lid) <- step.Step.txn;
+              sh.fvia_node.(lid) <- step.Step.node;
+              sh.fsleep.(lid) <- z;
+              Mutex.unlock sh.flock;
+              let before = Atomic.fetch_and_add total 1 in
+              if before >= max_states then begin
+                Atomic.set overflow true;
+                Atomic.set stop true
+              end
+              else begin
+                Obs.M.Counter.incr Obs.states_visited;
+                if moved then Obs.M.Counter.incr Obs.canon_hits;
+                if found succ then begin
+                  ignore
+                    (Atomic.compare_and_set witness (-1)
+                       (fast_gid ~shard:s lid));
+                  Atomic.set stop true
+                end
+                else begin
+                  Atomic.incr pending;
+                  Ws_deque.push dq (fast_gid ~shard:s lid, succ, z)
+                end
+              end
+            end
+            else begin
+              match
+                Indep.sleep_covered ~stored:sh.fsleep.(lid) ~incoming:z
+              with
+              | `Covered -> Mutex.unlock sh.flock
+              | `Shrink z' ->
+                  sh.fsleep.(lid) <- z';
+                  Mutex.unlock sh.flock;
+                  Atomic.incr pending;
+                  Ws_deque.push dq (fast_gid ~shard:s lid, succ, z')
+            end
+          end)
+        exp.Indep.succs
+    in
+    fast_run ~jobs ~stop ~pending ~deques ~process;
+    fast_flush_structure_counters shards deques;
+    fast_finish ~witness ~overflow ~total ~shards
+  end
+
+(* ------------------------- public interface ------------------------ *)
+
+type mode = [ `Deterministic | `Fast ]
+
+type repr = Det of State.t table | Fst of State.t fast_space
+type space = { sys : System.t; repr : repr; canon : Canon.t option; sjobs : int }
 
 let explore ?(max_states = Explore.default_cap) ?(symmetry = false)
-    ?(por = false) ~jobs sys =
+    ?(por = false) ?(mode = `Deterministic) ~jobs sys =
   let canon = Explore.active_canon ~symmetry sys in
-  let outcome =
-    if por then
-      por_core ~max_states ~jobs ~canon ~restrict:(fun _ -> true)
-        ~found:(fun _ -> false) sys
-    else
-      search_core ~max_states ~jobs
-        ~ops:(plain_or_sym_ops canon sys ~restrict:(fun _ -> true)
-                ~found:(fun _ -> false))
-        (initial_node canon sys)
-  in
-  match outcome with
-  | Space tbl -> { sys; tbl; canon }
-  | Witness _ -> assert false
+  match mode with
+  | `Deterministic -> (
+      let outcome =
+        if por then
+          por_core ~max_states ~jobs ~canon ~restrict:(fun _ -> true)
+            ~found:(fun _ -> false) sys
+        else
+          search_core ~max_states ~jobs
+            ~ops:(plain_or_sym_ops canon sys ~restrict:(fun _ -> true)
+                    ~found:(fun _ -> false))
+            (initial_node canon sys)
+      in
+      match outcome with
+      | Space tbl -> { sys; repr = Det tbl; canon; sjobs = jobs }
+      | Witness _ -> assert false)
+  | `Fast -> (
+      let outcome =
+        if por then
+          fast_por_core ~max_states ~jobs ~canon ~restrict:(fun _ -> true)
+            ~found:(fun _ -> false) sys
+        else
+          fast_search_core ~max_states ~jobs
+            ~ops:(plain_or_sym_ops canon sys ~restrict:(fun _ -> true)
+                    ~found:(fun _ -> false))
+            (initial_node canon sys)
+      in
+      match outcome with
+      | FSpace f -> { sys; repr = Fst f; canon; sjobs = jobs }
+      | FWitness _ -> assert false)
 
 let system sp = sp.sys
-let jobs sp = sp.tbl.jobs
-let state_count sp = sp.tbl.total
+let jobs sp = sp.sjobs
+
+let state_count sp =
+  match sp.repr with Det t -> t.total | Fst f -> f.ftotal
 
 let states sp =
-  let arr = Array.make sp.tbl.total None in
-  Array.iter
-    (fun shard -> Hashtbl.iter (fun _ e -> arr.(e.rank) <- Some e.node) shard)
-    sp.tbl.shards;
-  Seq.map Option.get (Array.to_seq arr)
+  match sp.repr with
+  | Det t ->
+      let arr = Array.make t.total None in
+      Array.iter
+        (fun shard ->
+          Hashtbl.iter (fun _ e -> arr.(e.rank) <- Some e.node) shard)
+        t.shards;
+      Seq.map Option.get (Array.to_seq arr)
+  | Fst f ->
+      (* Shard-major, id-minor: deterministic for a given run, but NOT
+         the BFS rank order — fast spaces have none. *)
+      Seq.concat
+        (Seq.map
+           (fun sh ->
+             Seq.init (Intern.count sh.fintern) (fun i ->
+                 Intern.get sh.fintern i))
+           (Array.to_seq f.fshards))
 
 let lookup_key sp st =
   match sp.canon with
   | None -> State.key st
   | Some c -> Canon.canon_key c st
 
-let is_reachable sp st = find_entry sp.tbl (lookup_key sp st) <> None
+let fast_find f st =
+  let s = fast_shard_of ~hash:State.hash st in
+  Option.map
+    (fun lid -> fast_gid ~shard:s lid)
+    (Intern.find f.fshards.(s).fintern st)
+
+let lookup_rep sp st =
+  match sp.canon with None -> st | Some c -> fst (Canon.normalize c st)
+
+let is_reachable sp st =
+  match sp.repr with
+  | Det t -> find_entry t (lookup_key sp st) <> None
+  | Fst f -> fast_find f (lookup_rep sp st) <> None
 
 let schedule_to sp st =
-  match sp.canon with
-  | None -> path_to sp.tbl (State.key st)
-  | Some c ->
-      Option.map
-        (fun steps -> Canon.realize_to c steps st)
-        (path_to sp.tbl (Canon.canon_key c st))
+  match sp.repr with
+  | Det t -> (
+      match sp.canon with
+      | None -> path_to t (State.key st)
+      | Some c ->
+          Option.map
+            (fun steps -> Canon.realize_to c steps st)
+            (path_to t (Canon.canon_key c st)))
+  | Fst f -> (
+      match fast_find f (lookup_rep sp st) with
+      | None -> None
+      | Some gid -> (
+          let steps = fast_path f.fshards gid in
+          match sp.canon with
+          | None -> Some steps
+          | Some c -> Some (Canon.realize_to c steps st)))
 
 let bfs ?(max_states = Explore.default_cap) ?(restrict = fun _ -> true)
-    ?(symmetry = false) ?(por = false) ~jobs sys ~found =
+    ?(symmetry = false) ?(por = false) ?(mode = `Deterministic) ~jobs sys
+    ~found =
   let canon = Explore.active_canon ~symmetry sys in
-  let outcome =
-    if por then por_core ~max_states ~jobs ~canon ~restrict ~found sys
-    else
-      search_core ~max_states ~jobs
-        ~ops:(plain_or_sym_ops canon sys ~restrict ~found)
-        (initial_node canon sys)
+  let witness =
+    match mode with
+    | `Deterministic -> (
+        let outcome =
+          if por then por_core ~max_states ~jobs ~canon ~restrict ~found sys
+          else
+            search_core ~max_states ~jobs
+              ~ops:(plain_or_sym_ops canon sys ~restrict ~found)
+              (initial_node canon sys)
+        in
+        match outcome with
+        | Space _ -> None
+        | Witness (steps, st) -> Some (steps, st))
+    | `Fast -> (
+        let outcome =
+          if por then
+            fast_por_core ~max_states ~jobs ~canon ~restrict ~found sys
+          else
+            fast_search_core ~max_states ~jobs
+              ~ops:(plain_or_sym_ops canon sys ~restrict ~found)
+              (initial_node canon sys)
+        in
+        match outcome with
+        | FSpace _ -> None
+        | FWitness (steps, st) -> Some (steps, st))
   in
-  match outcome with
-  | Space _ -> None
-  | Witness (steps, st) -> (
+  match witness with
+  | None -> None
+  | Some (steps, st) -> (
       match canon with
       | None -> Some (steps, st)
       | Some c -> Some (Canon.realize c steps))
 
-let find_deadlock ?max_states ?symmetry ?(por = false) ~jobs sys =
+let find_deadlock ?max_states ?symmetry ?(por = false) ?(mode = `Deterministic)
+    ~jobs sys =
   let dead st = State.is_deadlock sys st in
+  (* Witness-canonicalization contract, shared by [--por] and
+     [--fast]: verdict from the reduced/relaxed search, witness from a
+     plain sequential re-search (bit-identical to the deterministic
+     engines), falling back to the valid raw witness if the re-search
+     blows the budget. *)
+  let canonicalize raw =
+    match Explore.bfs ?max_states sys ~found:dead with
+    | Some w -> Some w
+    | None -> Some raw
+    | exception Explore.Too_large _ -> Some raw
+  in
   let r =
-    if por then
-      (* Same witness-canonicalization contract as the sequential
-         engine: verdict from the reduced search, witness from a plain
-         non-symmetric re-search (itself bit-identical to the
-         sequential one), falling back to the valid reduced witness if
-         the re-search blows the budget. *)
-      match bfs ?max_states ?symmetry ~por:true ~jobs sys ~found:dead with
-      | None -> None
-      | Some raw -> (
-          match bfs ?max_states ~jobs sys ~found:dead with
-          | Some w -> Some w
-          | None -> Some raw
-          | exception Explore.Too_large _ -> Some raw)
-    else bfs ?max_states ?symmetry ~jobs sys ~found:dead
+    match (mode, por) with
+    | `Deterministic, false -> bfs ?max_states ?symmetry ~jobs sys ~found:dead
+    | `Deterministic, true -> (
+        match bfs ?max_states ?symmetry ~por:true ~jobs sys ~found:dead with
+        | None -> None
+        | Some raw -> canonicalize raw)
+    | `Fast, _ -> (
+        match
+          bfs ?max_states ?symmetry ~por ~mode:`Fast ~jobs sys ~found:dead
+        with
+        | None -> None
+        | Some raw -> canonicalize raw)
   in
   if r <> None then begin
     Obs.M.Counter.incr Obs.deadlock_witnesses;
@@ -619,18 +1025,25 @@ let find_deadlock ?max_states ?symmetry ?(por = false) ~jobs sys =
   end;
   r
 
-let deadlock_free ?max_states ?symmetry ?(por = false) ~jobs sys =
-  if por then
-    bfs ?max_states ?symmetry ~por:true ~jobs sys
-      ~found:(fun st -> State.is_deadlock sys st)
-    = None
-  else Option.is_none (find_deadlock ?max_states ?symmetry ~jobs sys)
+let deadlock_free ?max_states ?symmetry ?(por = false) ?(mode = `Deterministic)
+    ~jobs sys =
+  let dead st = State.is_deadlock sys st in
+  match (mode, por) with
+  | `Deterministic, true ->
+      bfs ?max_states ?symmetry ~por:true ~jobs sys ~found:dead = None
+  | `Deterministic, false ->
+      Option.is_none (find_deadlock ?max_states ?symmetry ~jobs sys)
+  | `Fast, _ ->
+      (* Verdict only: a single relaxed search, no canonicalization. *)
+      bfs ?max_states ?symmetry ~por ~mode:`Fast ~jobs sys ~found:dead = None
 
 (* --------------------- Lemma-1 extended space ---------------------- *)
 
 let lemma1_ops sys ~report =
   {
     key = Explore.Lemma1.key;
+    hash = (fun n -> Hashtbl.hash (Explore.Lemma1.key n));
+    equal = (fun a b -> String.equal (Explore.Lemma1.key a) (Explore.Lemma1.key b));
     next = (fun n -> Explore.Lemma1.next sys n);
     restrict = (fun _ -> true);
     found =
@@ -644,13 +1057,28 @@ let lemma1_ops sys ~report =
     moved = (fun ~parent:_ _ _ -> false);
   }
 
-let lemma1_search ?(max_states = Explore.default_cap) ~jobs sys ~report =
-  match
-    search_core ~max_states ~jobs ~ops:(lemma1_ops sys ~report)
-      (Explore.Lemma1.initial sys)
-  with
-  | Space _ -> None
-  | Witness (steps, n) ->
+let lemma1_search ?(max_states = Explore.default_cap) ?(mode = `Deterministic)
+    ~jobs sys ~report =
+  let witness =
+    match mode with
+    | `Deterministic -> (
+        match
+          search_core ~max_states ~jobs ~ops:(lemma1_ops sys ~report)
+            (Explore.Lemma1.initial sys)
+        with
+        | Space _ -> None
+        | Witness (steps, n) -> Some (steps, n))
+    | `Fast -> (
+        match
+          fast_search_core ~max_states ~jobs ~ops:(lemma1_ops sys ~report)
+            (Explore.Lemma1.initial sys)
+        with
+        | FSpace _ -> None
+        | FWitness (steps, n) -> Some (steps, n))
+  in
+  match witness with
+  | None -> None
+  | Some (steps, n) ->
       let cycle =
         match Explore.Lemma1.cycle sys n with
         | Some c -> c
@@ -658,12 +1086,30 @@ let lemma1_search ?(max_states = Explore.default_cap) ~jobs sys ~report =
       in
       Some { Explore.steps; cycle }
 
-let safe_and_deadlock_free ?max_states ~jobs sys =
-  match lemma1_search ?max_states ~jobs sys ~report:`All_cyclic with
-  | None -> Ok ()
-  | Some cex -> Error cex
+(* Fast-mode safety verdicts canonicalize their counterexample with a
+   sequential re-search, mirroring [find_deadlock]. *)
+let canonical_cex ~seq raw =
+  match seq () with
+  | Error cex -> Error cex
+  | Ok () -> Error raw
+  | exception Explore.Too_large _ -> Error raw
 
-let safe ?max_states ~jobs sys =
-  match lemma1_search ?max_states ~jobs sys ~report:`Complete_cyclic with
+let safe_and_deadlock_free ?max_states ?(mode = `Deterministic) ~jobs sys =
+  match lemma1_search ?max_states ~mode ~jobs sys ~report:`All_cyclic with
   | None -> Ok ()
-  | Some cex -> Error cex
+  | Some cex -> (
+      match mode with
+      | `Deterministic -> Error cex
+      | `Fast ->
+          canonical_cex
+            ~seq:(fun () -> Explore.safe_and_deadlock_free ?max_states sys)
+            cex)
+
+let safe ?max_states ?(mode = `Deterministic) ~jobs sys =
+  match lemma1_search ?max_states ~mode ~jobs sys ~report:`Complete_cyclic with
+  | None -> Ok ()
+  | Some cex -> (
+      match mode with
+      | `Deterministic -> Error cex
+      | `Fast ->
+          canonical_cex ~seq:(fun () -> Explore.safe ?max_states sys) cex)

@@ -20,6 +20,40 @@ open Ddlock_schedule
 (** Raises [Invalid_argument] when [jobs < 1]. *)
 val validate_jobs : int -> unit
 
+(** Exploration mode.
+
+    [`Deterministic] (the default) is the level-synchronous engine
+    described above: bit-identical to the sequential engine for every
+    [jobs], at the cost of a per-level barrier and a sequential
+    rank-ordered reduction.
+
+    [`Fast] is the relaxed work-stealing engine: per-domain deques with
+    batch stealing, a hash-sharded visited set of intern tables (no
+    string keys — {!Ddlock_schedule.State.hash} + structural equality,
+    dense int ids, packed parent/via arenas), no barrier, and an
+    early-exit broadcast on the first witness.  Guarantees kept:
+    {ul
+    {- {e verdicts} — the explored state {e set} equals the
+       deterministic one (same dedup relation), so emptiness answers
+       ([deadlock_free], [safe], budget-free [bfs = None]) coincide;}
+    {- {e witness validity} — any returned schedule is a real path
+       from the initial state to a state satisfying the goal;}
+    {- {e cap soundness} — [Explore.Too_large n] is raised {e iff} the
+       reachable set (truncated at the stop point) exceeds
+       [max_states]; the carried [n >= max_states] may overshoot by
+       the work in flight (at most one wave), never undershoot.}}
+    Relaxed: discovery order, {e which} witness is found, and the
+    [par.steals]/[par.intern_hits]/[par.arena_reuse] counters (racy by
+    nature, not jobs-invariant — unlike every deterministic-mode
+    counter).  [find_deadlock]/[safe]/[safe_and_deadlock_free]
+    re-canonicalize positive verdicts with a plain sequential
+    re-search — exactly the [--por] contract — so their output stays
+    byte-identical to the deterministic engines on every workload whose
+    re-search fits the budget.  Composes with [?symmetry], [?por] and
+    {!Ddlock_obs.Cancel} deadlines (worker 0 runs in the calling domain
+    and polls). *)
+type mode = [ `Deterministic | `Fast ]
+
 (** {1 Full state space} *)
 
 type space
@@ -36,15 +70,28 @@ type space
     With [~por:true] the space is the persistent/sleep-set reduced
     space ({!Ddlock_schedule.Indep}): bit-identical to
     [Explore.explore ~por:true] — same states, ranks and schedules —
-    for every [jobs], and composes with [~symmetry:true]. *)
+    for every [jobs], and composes with [~symmetry:true].
+
+    With [~mode:`Fast] the space holds the same state {e set} (for
+    [~por:false]; a valid reduced set for [~por:true]) but no BFS
+    ranks: {!states} enumerates in shard order and {!schedule_to}
+    returns a valid (not necessarily shortest) schedule. *)
 val explore :
-  ?max_states:int -> ?symmetry:bool -> ?por:bool -> jobs:int -> System.t -> space
+  ?max_states:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  ?mode:mode ->
+  jobs:int ->
+  System.t ->
+  space
 
 val system : space -> System.t
 val jobs : space -> int
 val state_count : space -> int
 
-(** States in deterministic BFS discovery order (rank order). *)
+(** States in discovery order — deterministic spaces: BFS rank order;
+    fast spaces: shard-major order (deterministic for a given run
+    only). *)
 val states : space -> State.t Seq.t
 
 val is_reachable : space -> State.t -> bool
@@ -65,30 +112,44 @@ val schedule_to : space -> State.t -> Step.t list option
 
     With [~por:true] the search runs over the reduced space and is
     bit-identical to [Explore.bfs ~por:true]; sound only for
-    predicates implied by deadlock (see {!Explore.bfs}). *)
+    predicates implied by deadlock (see {!Explore.bfs}).
+
+    With [~mode:`Fast] the returned witness is the first one {e some}
+    worker reached — valid, but not the BFS-minimal one; [None] answers
+    are still equivalent to the deterministic engine's. *)
 val bfs :
   ?max_states:int ->
   ?restrict:(State.t -> bool) ->
   ?symmetry:bool ->
   ?por:bool ->
+  ?mode:mode ->
   jobs:int ->
   System.t ->
   found:(State.t -> bool) ->
   (Step.t list * State.t) option
 
-(** With [~por:true], verdict from the reduced search and witness from
-    a plain non-symmetric re-search — byte-identical to the
-    sequential [Explore.find_deadlock ~por:true] for every [jobs]. *)
+(** With [~por:true] or [~mode:`Fast], verdict from the reduced or
+    relaxed search and witness from a plain sequential re-search —
+    byte-identical to the sequential [find_deadlock] for every [jobs]
+    (falling back to the valid raw witness when the re-search exceeds
+    the budget). *)
 val find_deadlock :
   ?max_states:int ->
   ?symmetry:bool ->
   ?por:bool ->
+  ?mode:mode ->
   jobs:int ->
   System.t ->
   (Step.t list * State.t) option
 
 val deadlock_free :
-  ?max_states:int -> ?symmetry:bool -> ?por:bool -> jobs:int -> System.t -> bool
+  ?max_states:int ->
+  ?symmetry:bool ->
+  ?por:bool ->
+  ?mode:mode ->
+  jobs:int ->
+  System.t ->
+  bool
 
 (** {1 Lemma-1 searches (safety)}
 
@@ -98,7 +159,15 @@ val deadlock_free :
     ones. *)
 
 val safe_and_deadlock_free :
-  ?max_states:int -> jobs:int -> System.t -> (unit, Explore.counterexample) result
+  ?max_states:int ->
+  ?mode:mode ->
+  jobs:int ->
+  System.t ->
+  (unit, Explore.counterexample) result
 
 val safe :
-  ?max_states:int -> jobs:int -> System.t -> (unit, Explore.counterexample) result
+  ?max_states:int ->
+  ?mode:mode ->
+  jobs:int ->
+  System.t ->
+  (unit, Explore.counterexample) result

@@ -1,0 +1,64 @@
+(* Hash-consing intern table: maps values to dense integer ids so that
+   downstream structures (visited sets, parent arrays) can store ints
+   and compare with [==]-style integer equality instead of re-hashing
+   or re-comparing structural values.
+
+   The arena is a growable array with amortized doubling; buckets map a
+   structural hash to the (few) arena ids sharing it.  Not thread-safe
+   by itself — the parallel engine wraps one table per shard behind the
+   shard mutex. *)
+
+type 'a t = {
+  equal : 'a -> 'a -> bool;
+  hash : 'a -> int;
+  buckets : (int, int list) Hashtbl.t;
+  mutable arena : 'a array;
+  mutable len : int;
+  mutable hits : int;
+}
+
+let create ?(capacity = 256) ~equal ~hash () =
+  { equal; hash; buckets = Hashtbl.create capacity; arena = [||]; len = 0;
+    hits = 0 }
+
+let count t = t.len
+let hits t = t.hits
+
+let get t id =
+  if id < 0 || id >= t.len then invalid_arg "Intern.get: id out of range";
+  t.arena.(id)
+
+let ensure_room t x =
+  let cap = Array.length t.arena in
+  if t.len >= cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let arr = Array.make ncap x in
+    Array.blit t.arena 0 arr 0 t.len;
+    t.arena <- arr
+  end
+
+let find t x =
+  let h = t.hash x land max_int in
+  match Hashtbl.find_opt t.buckets h with
+  | None -> None
+  | Some ids -> List.find_opt (fun id -> t.equal t.arena.(id) x) ids
+
+let intern t x =
+  let h = t.hash x land max_int in
+  let ids = Option.value ~default:[] (Hashtbl.find_opt t.buckets h) in
+  match List.find_opt (fun id -> t.equal t.arena.(id) x) ids with
+  | Some id ->
+      t.hits <- t.hits + 1;
+      (id, false)
+  | None ->
+      ensure_room t x;
+      let id = t.len in
+      t.arena.(id) <- x;
+      t.len <- t.len + 1;
+      Hashtbl.replace t.buckets h (id :: ids);
+      (id, true)
+
+let iter f t =
+  for id = 0 to t.len - 1 do
+    f t.arena.(id)
+  done

@@ -14,6 +14,11 @@ let final sys =
 let copy st = Array.map Bitset.copy st
 let equal a b = Array.length a = Array.length b && Array.for_all2 Bitset.equal a b
 
+let hash st =
+  let h = ref (Array.length st) in
+  Array.iter (fun s -> h := (!h * 486187739) + Bitset.hash s) st;
+  !h land max_int
+
 let key st =
   let buf = Buffer.create 64 in
   Array.iter

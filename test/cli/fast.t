@@ -1,0 +1,68 @@
+The relaxed work-stealing engine: --fast trades the deterministic
+engine's reproducible discovery order for throughput, but analyze and
+minimize re-canonicalize every positive verdict with a plain sequential
+re-search (the same contract as --por), so the rendered report is
+byte-identical to the plain one — alone and composed with --symmetry
+and --por.  Two copies of a 4-ring (the paper's Fig. 2 shape):
+
+  $ ../../bin/ddlock_cli.exe gen ring -n 4 --copies 2 > fig2.txn
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn > plain.out
+  [1]
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --fast --jobs 2 > fast.out
+  [1]
+  $ diff plain.out fast.out
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --fast --jobs 4 --symmetry > fastsym.out
+  [1]
+  $ diff plain.out fastsym.out
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --fast --jobs 4 --por > fastpor.out
+  [1]
+  $ diff plain.out fastpor.out
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --fast --jobs 4 --symmetry --por > fastall.out
+  [1]
+  $ diff plain.out fastall.out
+
+minimize probes verdicts only, so the relaxed engine finds the same
+core:
+
+  $ ../../bin/ddlock_cli.exe gen philosophers -n 4 > phil.txn
+  $ ../../bin/ddlock_cli.exe minimize phil.txn 2>/dev/null > min.out
+  $ ../../bin/ddlock_cli.exe minimize phil.txn --fast --jobs 2 2>/dev/null > minfast.out
+  $ diff min.out minfast.out
+
+Relaxed mode only pays off with real parallelism, so the CLI refuses
+--fast without an explicit --jobs N, N >= 2:
+
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --fast
+  ddlock: --fast requires --jobs N with N >= 2
+  [2]
+  $ ../../bin/ddlock_cli.exe analyze fig2.txn --fast --jobs 1
+  ddlock: --fast requires --jobs N with N >= 2
+  [2]
+  $ ../../bin/ddlock_cli.exe minimize phil.txn --fast
+  ddlock: --fast requires --jobs N with N >= 2
+  [2]
+
+The hash-consing substrate surfaces in --stats: a full exploration
+(safe system, no early exit) dedups every re-derived state through the
+intern tables, so par.intern_hits is live.  (par.steals and
+par.arena_reuse are racy by design — present or zero depending on the
+run — so only the deterministic counter is pinned here.)  A
+non-two-phase pair defeats the polynomial test and forces the
+exhaustive search:
+
+  $ cat > pair.txn << 'EOF'
+  > site s0 { a }
+  > site s1 { b }
+  > txn T_1 {
+  >   L a < U a;
+  >   U a < L b;
+  >   L b < U b;
+  > }
+  > txn T_2 {
+  >   L a < U a;
+  >   U a < L b;
+  >   L b < U b;
+  > }
+  > EOF
+  $ ../../bin/ddlock_cli.exe analyze pair.txn --fast --jobs 2 --stats 2>&1 >/dev/null | grep -c "par.intern_hits"
+  1
