@@ -880,6 +880,114 @@ let serve_bench () =
         (theta, ms))
       [ 0.0; 0.8; 1.5 ]
   in
+  (* Tracing overhead on the served path: the same cached request with
+     the Obs switch off vs on.  With tracing on every request records a
+     span tree and retires it into the rings, so this measures the whole
+     per-request observability cost (ISSUE 9 budget: <= 5%). *)
+  let overhead_src =
+    Model.Parser.to_source
+      (System.db (List.hd bases))
+      (List.mapi
+         (fun i txn -> (Printf.sprintf "T%d" (i + 1), txn))
+         (Array.to_list (System.txns (List.hd bases))))
+  in
+  ignore (analyze overhead_src);
+  (* primed *)
+  let timed_cached n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (analyze overhead_src)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int n
+  in
+  Obs.Control.off ();
+  ignore (timed_cached 50);
+  (* warm-up *)
+  let off_ms = timed_cached 200 in
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Obs.Control.on ();
+  let on_ms = timed_cached 200 in
+  Obs.Control.off ();
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  let overhead_pct = 100.0 *. (on_ms -. off_ms) /. off_ms in
+  Format.printf
+    "  tracing overhead (cached request): %.3f ms off, %.3f ms on \
+     (%+.1f%%)@."
+    off_ms on_ms overhead_pct;
+  (* Saturation sweep: fresh systems (all cache misses) offered at an
+     increasing open-loop rate until the bounded admission queue starts
+     rejecting.  Sources are pre-generated so the submitter threads only
+     pace and send. *)
+  let fresh_sources n =
+    Array.init n (fun _ ->
+        let sys =
+          Workload.Gentx.zipf_system st ~sites:2 ~entities:6 ~txns:5
+            ~theta:0.8
+        in
+        Model.Parser.to_source (System.db sys)
+          (List.mapi
+             (fun i txn -> (Printf.sprintf "T%d" (i + 1), txn))
+             (Array.to_list (System.txns sys))))
+  in
+  let saturation_point rate =
+    let window = 0.6 in
+    let n = max 1 (int_of_float (rate *. window)) in
+    let sources = fresh_sources n in
+    let results = Array.make n `Pending in
+    let threads =
+      List.init n (fun i ->
+          Thread.create
+            (fun () ->
+              Thread.delay (float_of_int i /. rate);
+              let t0 = Unix.gettimeofday () in
+              results.(i) <-
+                (match Ddlock_serve.Client.analyze ~socket sources.(i) with
+                | Ok (Ddlock_serve.Client.Verdict _) ->
+                    `Ok ((Unix.gettimeofday () -. t0) *. 1000.0)
+                | Ok (Ddlock_serve.Client.Busy _) -> `Busy
+                | Ok Ddlock_serve.Client.Timeout -> `Timeout
+                | _ -> `Err))
+            ())
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let oks =
+      Array.to_list results
+      |> List.filter_map (function `Ok ms -> Some ms | _ -> None)
+      |> List.sort compare |> Array.of_list
+    in
+    let count p = Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 results in
+    let busy = count (function `Busy -> true | _ -> false) in
+    let quant q =
+      if Array.length oks = 0 then 0.0
+      else oks.(min (Array.length oks - 1)
+                  (int_of_float (q *. float_of_int (Array.length oks))))
+    in
+    ( n,
+      float_of_int (Array.length oks) /. elapsed,
+      float_of_int busy /. float_of_int n,
+      quant 0.5,
+      quant 0.99 )
+  in
+  Format.printf "  %-14s %-14s %-10s %-10s %-10s@." "offered req/s"
+    "served req/s" "busy" "p50 ms" "p99 ms";
+  let saturation_rows =
+    let rec sweep acc = function
+      | [] -> List.rev acc
+      | rate :: rest ->
+          let n, achieved, busy_rate, p50, p99 = saturation_point rate in
+          Format.printf "  %-14.0f %-14.1f %-10.2f %-10.2f %-10.2f@." rate
+            achieved busy_rate p50 p99;
+          let acc = (rate, n, achieved, busy_rate, p50, p99) :: acc in
+          (* Past busy onset the queue is already the bottleneck; higher
+             offered rates only add rejected requests. *)
+          if busy_rate > 0.2 then List.rev acc else sweep acc rest
+    in
+    sweep [] [ 25.0; 50.0; 100.0; 200.0; 400.0 ]
+  in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -894,6 +1002,21 @@ let serve_bench () =
       Buffer.add_string buf
         (Printf.sprintf "\n    { \"theta\": %.1f, \"ms\": %.3f }" theta ms))
     zipf_rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"tracing_overhead\": { \"off_ms\": %.4f, \"on_ms\": \
+        %.4f, \"overhead_pct\": %.2f },\n  \"saturation\": ["
+       off_ms on_ms overhead_pct);
+  List.iteri
+    (fun i (rate, n, achieved, busy_rate, p50, p99) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"offered_rps\": %.0f, \"requests\": %d, \
+            \"served_rps\": %.1f, \"busy_rate\": %.3f, \"p50_ms\": %.3f, \
+            \"p99_ms\": %.3f }"
+           rate n achieved busy_rate p50 p99))
+    saturation_rows;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out "BENCH_serve.json" in
   output_string oc (Buffer.contents buf);

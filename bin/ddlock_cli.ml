@@ -634,8 +634,20 @@ let serve_cmd =
     Arg.(value & opt int 5_000 & info [ "idle-timeout-ms" ]
          ~doc:"Per-read deadline on client sockets (slowloris guard).")
   in
+  let flight_cap_arg =
+    Arg.(value & opt int 256 & info [ "flight-cap" ]
+         ~doc:"Flight-recorder ring: retain the last $(docv) completed \
+               request summaries." ~docv:"N")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt int 250 & info [ "slow-ms" ]
+         ~doc:"Pin the span trees of requests slower than $(docv) ms (and \
+               of every timeout) in the slow ring for later 'trace' \
+               retrieval." ~docv:"MS")
+  in
   let run socket workers queue_cap cache_cap max_request_bytes
-      default_max_states default_deadline_ms jobs idle_timeout_ms stats trace =
+      default_max_states default_deadline_ms jobs idle_timeout_ms flight_cap
+      slow_ms stats trace =
     check_jobs jobs;
     if workers < 1 then begin
       Format.eprintf "ddlock: --workers must be >= 1 (got %d)@." workers;
@@ -654,6 +666,8 @@ let serve_cmd =
         default_deadline_ms;
         jobs;
         idle_timeout_ms;
+        flight_cap;
+        slow_ms;
       }
     in
     let t =
@@ -669,6 +683,8 @@ let serve_cmd =
     let stop _ = Ddlock_serve.Server.request_stop t in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> Ddlock_serve.Server.flight_dump t stderr));
     Format.eprintf "ddlock: serving on %s (workers=%d queue=%d cache=%d)@."
       socket workers queue_cap cache_cap;
     Ddlock_serve.Server.wait t;
@@ -679,11 +695,13 @@ let serve_cmd =
        ~doc:
          "Run the analysis daemon on a Unix-domain socket: cached verdicts, \
           bounded admission with busy backpressure, per-request deadlines, \
-          graceful drain on SIGTERM/SIGINT.")
+          graceful drain on SIGTERM/SIGINT.  SIGUSR1 dumps the flight \
+          recorder to stderr.")
     Term.(
       const run $ socket_arg $ workers_arg $ queue_cap_arg $ cache_cap_arg
       $ max_request_arg $ serve_max_states_arg $ deadline_arg $ jobs_arg
-      $ idle_timeout_arg $ stats_arg $ trace_arg)
+      $ idle_timeout_arg $ flight_cap_arg $ slow_ms_arg $ stats_arg
+      $ trace_arg)
 
 (* ------------------------------ request ---------------------------- *)
 
@@ -704,18 +722,43 @@ let request_cmd =
     Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check only.")
   in
   let req_stats_arg =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's counters.")
+    Arg.(value & flag & info [ "stats" ]
+         ~doc:"Without FILE: print the daemon's counters.  With FILE: \
+               print this request's wall-clock latency and cache-hit \
+               status on stderr.")
   in
   let raw_arg =
     Arg.(value & opt (some string) None & info [ "raw" ] ~docv:"LINE"
          ~doc:"Debugging: send $(docv) verbatim (newline appended) and \
                print whatever comes back; exits 2 on an error reply.")
   in
-  let run socket file max_states symmetry deadline_ms ping stats raw =
+  let req_trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT"
+         ~doc:"With FILE: after the reply, fetch this request's span tree \
+               from the daemon and write it to $(docv) as Chrome \
+               trace-event JSON (the daemon must be tracing: --stats or \
+               DDLOCK_OBS=1).")
+  in
+  let metrics_flag =
+    Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the daemon's Prometheus text exposition.")
+  in
+  let flight_flag =
+    Arg.(value & flag & info [ "flight" ]
+         ~doc:"Print the daemon's flight-recorder JSON.")
+  in
+  let run socket file max_states symmetry deadline_ms ping stats raw
+      trace_out metrics flight =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let fail err =
       Format.eprintf "ddlock: %a@." Ddlock_serve.Client.pp_error err;
       exit 2
+    in
+    let print_body = function
+      | Error err -> fail err
+      | Ok body ->
+          print_string body;
+          exit 0
     in
     let finish = function
       | Ddlock_serve.Client.Verdict { status; body } ->
@@ -735,34 +778,72 @@ let request_cmd =
           print_endline "pong";
           exit 0
     in
-    match (raw, ping, stats, file) with
-    | Some line, _, _, _ -> (
+    match (raw, ping, metrics, flight, file) with
+    | Some line, _, _, _, _ -> (
         match Ddlock_serve.Client.raw ~socket (line ^ "\n") with
         | Error err -> fail err
         | Ok reply ->
             print_string reply;
             exit (if String.length reply >= 5 && String.sub reply 0 5 = "error"
                   then 2 else 0))
-    | None, true, _, _ -> (
+    | None, true, _, _, _ -> (
         match Ddlock_serve.Client.ping ~socket with
         | Error err -> fail err
         | Ok reply -> finish reply)
-    | None, false, true, _ -> (
-        match Ddlock_serve.Client.stats ~socket with
-        | Error err -> fail err
-        | Ok reply -> finish reply)
-    | None, false, false, Some file -> (
+    | None, false, true, _, _ -> print_body (Ddlock_serve.Client.metrics ~socket)
+    | None, false, false, true, _ ->
+        print_body (Ddlock_serve.Client.flight ~socket)
+    | None, false, false, false, Some file -> (
         let source = read_file file in
+        let t0 = Obs.Clock.now_ns () in
         match
-          Ddlock_serve.Client.analyze ~socket ?max_states ~symmetry
+          Ddlock_serve.Client.analyze_ex ~socket ?max_states ~symmetry
             ?deadline_ms source
         with
         | Error err -> fail err
-        | Ok reply -> finish reply)
-    | None, false, false, None ->
-        Format.eprintf
-          "ddlock: request needs a FILE (or --ping, --stats, --raw)@.";
-        exit 2
+        | Ok (reply, meta) ->
+            let ms = float_of_int (Obs.Clock.now_ns () - t0) /. 1e6 in
+            if stats then
+              Format.eprintf "ddlock: %.1f ms%s%s@." ms
+                (match meta.Ddlock_serve.Client.cached with
+                | Some true -> ", cache hit"
+                | Some false -> ", cache miss"
+                | None -> "")
+                (match meta.Ddlock_serve.Client.req_id with
+                | Some id -> Printf.sprintf ", req %d" id
+                | None -> "");
+            (match (trace_out, meta.Ddlock_serve.Client.req_id) with
+            | None, _ -> ()
+            | Some _, None ->
+                Format.eprintf "ddlock: trace: server sent no request id@."
+            | Some path, Some id -> (
+                match Ddlock_serve.Client.trace ~socket id with
+                | Error err ->
+                    (* The verdict already arrived; a missing trace only
+                       warns, it does not change the exit status. *)
+                    Format.eprintf "ddlock: trace: %a@."
+                      Ddlock_serve.Client.pp_error err
+                | Ok json -> (
+                    match open_out_bin path with
+                    | exception Sys_error msg ->
+                        prerr_endline msg;
+                        exit 2
+                    | oc ->
+                        Fun.protect
+                          ~finally:(fun () -> close_out_noerr oc)
+                          (fun () -> output_string oc json))));
+            finish reply)
+    | None, false, false, false, None ->
+        if stats then
+          match Ddlock_serve.Client.stats ~socket with
+          | Error err -> fail err
+          | Ok reply -> finish reply
+        else begin
+          Format.eprintf
+            "ddlock: request needs a FILE (or --ping, --stats, --raw, \
+             --metrics, --flight)@.";
+          exit 2
+        end
   in
   Cmd.v
     (Cmd.info "request"
@@ -772,7 +853,215 @@ let request_cmd =
           4 deadline exceeded).")
     Term.(
       const run $ socket_arg $ file_opt_arg $ req_max_states_arg
-      $ symmetry_arg $ deadline_arg $ ping_arg $ req_stats_arg $ raw_arg)
+      $ symmetry_arg $ deadline_arg $ ping_arg $ req_stats_arg $ raw_arg
+      $ req_trace_arg $ metrics_flag $ flight_flag)
+
+(* -------------------------------- top ------------------------------ *)
+
+(* Parse the daemon's Prometheus exposition back into a metrics
+   snapshot, so the interval arithmetic reuses [Obs.Metrics.delta] and
+   [Obs.Metrics.quantile].  Only the shapes the daemon emits are
+   understood: "name value" scalars and 'name_bucket{le="N"} cum'
+   histogram lines (which are exact re-encodings of the log2 buckets,
+   so the bucket index round-trips through [bucket_of]). *)
+let snapshot_of_exposition text =
+  let scalars : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let buckets : (string, (float * float) list) Hashtbl.t = Hashtbl.create 8 in
+  let bucket_suffix = "_bucket" in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        match String.index_opt line ' ' with
+        | None -> ()
+        | Some sp -> (
+            let lhs = String.sub line 0 sp in
+            let rhs = String.sub line (sp + 1) (String.length line - sp - 1) in
+            let v =
+              if rhs = "+Inf" then Some infinity else float_of_string_opt rhs
+            in
+            match (v, String.index_opt lhs '{') with
+            | None, _ -> ()
+            | Some v, None -> Hashtbl.replace scalars lhs v
+            | Some v, Some br ->
+                let head = String.sub lhs 0 br in
+                let labels =
+                  String.sub lhs br (String.length lhs - br)
+                in
+                let is_bucket =
+                  String.length head > String.length bucket_suffix
+                  && String.sub head
+                       (String.length head - String.length bucket_suffix)
+                       (String.length bucket_suffix)
+                     = bucket_suffix
+                in
+                let le =
+                  let prefix = {|{le="|} in
+                  let plen = String.length prefix in
+                  if
+                    String.length labels > plen + 1
+                    && String.sub labels 0 plen = prefix
+                  then
+                    let inner =
+                      String.sub labels plen (String.length labels - plen - 2)
+                    in
+                    if inner = "+Inf" then Some infinity
+                    else float_of_string_opt inner
+                  else None
+                in
+                (match (is_bucket, le) with
+                | true, Some le ->
+                    let base =
+                      String.sub head 0
+                        (String.length head - String.length bucket_suffix)
+                    in
+                    let prev =
+                      Option.value ~default:[] (Hashtbl.find_opt buckets base)
+                    in
+                    Hashtbl.replace buckets base ((le, v) :: prev)
+                | _ -> ())))
+    (String.split_on_char '\n' text);
+  let scalar name =
+    int_of_float (Option.value ~default:0.0 (Hashtbl.find_opt scalars name))
+  in
+  let hists =
+    Hashtbl.fold
+      (fun base les acc ->
+        let les =
+          List.sort (fun (a, _) (b, _) -> compare a b) les
+        in
+        let _, rev_buckets =
+          List.fold_left
+            (fun (prev_cum, acc) (le, cum) ->
+              let n = int_of_float cum - prev_cum in
+              let idx =
+                if le = infinity then Obs.Metrics.Histogram.max_bucket
+                else Obs.Metrics.Histogram.bucket_of (int_of_float le)
+              in
+              (int_of_float cum, if n > 0 then (idx, n) :: acc else acc))
+            (0, []) les
+        in
+        ( base,
+          Obs.Metrics.Hist
+            {
+              Obs.Metrics.count = scalar (base ^ "_count");
+              sum = scalar (base ^ "_sum");
+              buckets = List.rev rev_buckets;
+            } )
+        :: acc)
+      buckets []
+  in
+  let is_hist_aux name =
+    Hashtbl.fold
+      (fun base _ acc ->
+        acc || name = base ^ "_sum" || name = base ^ "_count")
+      buckets false
+  in
+  let ends_with suffix s =
+    String.length s >= String.length suffix
+    && String.sub s (String.length s - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  let others =
+    Hashtbl.fold
+      (fun name v acc ->
+        if is_hist_aux name then acc
+        else
+          let n = int_of_float v in
+          ( name,
+            if ends_with "_total" name then Obs.Metrics.Counter n
+            else Obs.Metrics.Gauge n )
+          :: acc)
+      scalars []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (hists @ others)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(value & opt int 1_000 & info [ "interval-ms" ]
+         ~doc:"Refresh interval.")
+  in
+  let count_arg =
+    Arg.(value & opt int 0 & info [ "count" ]
+         ~doc:"Stop after $(docv) refreshes (0 = run until interrupted)."
+         ~docv:"N")
+  in
+  let run socket interval_ms count =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fetch () =
+      match Ddlock_serve.Client.metrics ~socket with
+      | Ok text -> snapshot_of_exposition text
+      | Error err ->
+          Format.eprintf "ddlock: %a@." Ddlock_serve.Client.pp_error err;
+          exit 2
+    in
+    let num name snap =
+      match List.assoc_opt name snap with
+      | Some (Obs.Metrics.Counter n) | Some (Obs.Metrics.Gauge n) ->
+          float_of_int n
+      | _ -> 0.0
+    in
+    let hist name snap =
+      match List.assoc_opt name snap with
+      | Some (Obs.Metrics.Hist h) -> h
+      | _ -> { Obs.Metrics.count = 0; sum = 0; buckets = [] }
+    in
+    let clear = Unix.isatty Unix.stdout in
+    let interval_s = float_of_int (max 1 interval_ms) /. 1000. in
+    let render now d =
+      if clear then print_string "\027[2J\027[H";
+      let requests = num "daemon_requests_total" d in
+      let hits = num "daemon_cache_hits_total" d in
+      let misses = num "daemon_cache_misses_total" d in
+      let lookups = hits +. misses in
+      (* Quantiles prefer this interval's histogram; a quiet interval
+         falls back to the cumulative distribution. *)
+      let interval_h = hist "daemon_request_ns" d in
+      let h, h_scope =
+        if interval_h.Obs.Metrics.count > 0 then (interval_h, "interval")
+        else (hist "daemon_request_ns" now, "cumulative")
+      in
+      let q p = Obs.Metrics.quantile h p /. 1e6 in
+      let pct part = 100. *. part /. Float.max 1.0 requests in
+      Format.printf "ddlock top — %s (every %.1fs)@." socket interval_s;
+      Format.printf
+        "  req/s    %8.1f    inflight %3.0f   queue %3.0f   workers %.0f@."
+        (requests /. interval_s)
+        (num "daemon_inflight" now)
+        (num "daemon_queue_depth" now)
+        (num "daemon_workers" now);
+      Format.printf
+        "  latency  p50 %.2f ms   p90 %.2f ms   p99 %.2f ms   (%s, n=%d)@."
+        (q 0.50) (q 0.90) (q 0.99) h_scope h.Obs.Metrics.count;
+      Format.printf "  cache    hit %5.1f%%  (hits %.0f, misses %.0f)@."
+        (if lookups > 0. then 100. *. hits /. lookups else 0.0)
+        hits misses;
+      Format.printf
+        "  busy     %5.1f%%   timeouts %5.1f%%   errors %5.1f%%@."
+        (pct (num "daemon_busy_total" d))
+        (pct (num "daemon_timeouts_total" d))
+        (pct (num "daemon_errors_total" d));
+      Format.print_flush ()
+    in
+    let prev = ref (fetch ()) in
+    let n = ref 0 in
+    while count = 0 || !n < count do
+      incr n;
+      Unix.sleepf interval_s;
+      let now = fetch () in
+      let d = Obs.Metrics.delta ~before:!prev ~after:now in
+      prev := now;
+      render now d
+    done;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live daemon dashboard: poll the 'metrics' verb and display \
+          request rate, latency quantiles, cache hit rate and \
+          busy/timeout/error rates per refresh interval.")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 (* ------------------------------ replay ----------------------------- *)
 
@@ -851,4 +1140,5 @@ let () =
             replay_cmd;
             serve_cmd;
             request_cmd;
+            top_cmd;
           ]))

@@ -7,3 +7,7 @@
 
 val validate : string -> (unit, string) result
 (** [Error msg] carries a position-annotated reason. *)
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in a JSON
+    document (backslash, quote, control characters). *)

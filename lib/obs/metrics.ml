@@ -126,6 +126,7 @@ module Histogram = struct
             invalid_arg ("Obs.Histogram.make: " ^ name ^ " is not a histogram"))
 
   let observe h v = if on () then Histogram_repr.observe h v
+  let record = Histogram_repr.observe
   let bucket_of = Histogram_repr.bucket_of
   let bucket_lower = Histogram_repr.bucket_lower
   let max_bucket = Histogram_repr.max_bucket
@@ -178,6 +179,114 @@ let reset () =
       | M_hist h -> Histogram_repr.reset h)
     registry;
   Mutex.unlock registry_lock
+
+let quantile h q =
+  if h.count <= 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int h.count in
+    let rec go seen = function
+      | [] -> float_of_int h.sum /. float_of_int h.count
+      | (i, n) :: rest ->
+          let seen' = seen + n in
+          if float_of_int seen' >= rank then begin
+            (* Linear interpolation inside the log2 bucket.  Bucket 0
+               covers [0, 1]; bucket i >= 1 covers [2^i, 2^(i+1)). *)
+            let lo, width =
+              if i = 0 then (0.0, 1.0)
+              else
+                ( float_of_int (Histogram_repr.bucket_lower i),
+                  float_of_int (Histogram_repr.bucket_lower i) )
+            in
+            let into = (rank -. float_of_int seen) /. float_of_int n in
+            lo +. (width *. Float.max 0.0 (Float.min 1.0 into))
+          end
+          else go seen' rest
+    in
+    go 0 h.buckets
+  end
+
+let delta ~before ~after =
+  let prior = Hashtbl.create 32 in
+  List.iter (fun (name, v) -> Hashtbl.replace prior name v) before;
+  List.map
+    (fun (name, v) ->
+      let v' =
+        match (v, Hashtbl.find_opt prior name) with
+        | Counter a, Some (Counter b) -> Counter (max 0 (a - b))
+        | Hist a, Some (Hist b) ->
+            let was = Hashtbl.create 8 in
+            List.iter (fun (i, n) -> Hashtbl.replace was i n) b.buckets;
+            let buckets =
+              List.filter_map
+                (fun (i, n) ->
+                  match
+                    n - (Option.value ~default:0 (Hashtbl.find_opt was i))
+                  with
+                  | d when d > 0 -> Some (i, d)
+                  | _ -> None)
+                a.buckets
+            in
+            Hist
+              {
+                count = max 0 (a.count - b.count);
+                sum = max 0 (a.sum - b.sum);
+                buckets;
+              }
+        (* Gauges are instantaneous, not cumulative: keep the new value. *)
+        | v, _ -> v
+      in
+      (name, v'))
+    after
+
+(* ------------------- Prometheus text exposition -------------------- *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let render_prometheus_into b snap =
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Counter c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n c)
+      | Gauge g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n g)
+      | Hist h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          List.iter
+            (fun (i, cnt) ->
+              cum := !cum + cnt;
+              (* Bucket i covers [2^i, 2^(i+1)) in integers, so its
+                 inclusive upper bound is 2^(i+1) - 1 (1 for bucket 0).
+                 The overflow bucket has no finite bound and is folded
+                 into the final +Inf line below. *)
+              if i < Histogram_repr.max_bucket then
+                let le =
+                  if i = 0 then 1 else (2 * Histogram_repr.bucket_lower i) - 1
+                in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum))
+            h.buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (max !cum h.count));
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n h.sum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.count))
+    snap
+
+let render_prometheus snap =
+  let b = Buffer.create 1024 in
+  render_prometheus_into b snap;
+  Buffer.contents b
 
 let pp_summary ppf snap =
   let nonzero = function

@@ -48,6 +48,12 @@ module Histogram : sig
       the bucket index is [floor (log2 v)], i.e. bucket [i >= 1] covers
       [2^i <= v < 2^(i+1)]. *)
 
+  val record : t -> int -> unit
+  (** Like [observe] but independent of the {!Control} switch — for
+      always-on operational metrics (the daemon's request-latency
+      histogram must populate [ddlock top] without requiring the
+      whole tracing subsystem to be enabled). *)
+
   val bucket_of : int -> int
   (** The bucket index a sample lands in (exposed for tests). *)
 
@@ -77,6 +83,28 @@ val counter_value : string -> int
 
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
+
+val quantile : hist -> float -> float
+(** [quantile h q] estimates the [q]-th quantile ([0.0 <= q <= 1.0]) of
+    the samples in [h], interpolating linearly inside the log2 bucket
+    the rank falls in — so the estimate is within a factor of 2 of the
+    true sample.  [0.0] when the histogram is empty. *)
+
+val delta : before:(string * value) list -> after:(string * value) list ->
+  (string * value) list
+(** Interval view between two {!snapshot}s: counters and histograms
+    become [after - before] (clamped at zero, so a [reset] between the
+    snapshots yields zeros rather than negatives); gauges — which are
+    instantaneous, not cumulative — keep the [after] value.  Metrics
+    registered only after the first snapshot are passed through.  The
+    basis of [ddlock top]'s per-interval rates. *)
+
+val render_prometheus : (string * value) list -> string
+(** Prometheus text-exposition rendering of a snapshot: metric names
+    sanitized to [[a-zA-Z0-9_:]], one [# TYPE] line per metric,
+    histograms as cumulative [_bucket{le="..."}] lines over the
+    non-empty log2 buckets (ending with [+Inf]) plus [_sum] and
+    [_count]. *)
 
 val pp_summary : Format.formatter -> (string * value) list -> unit
 (** Plain-text rendering of a snapshot (skips zero-valued metrics). *)

@@ -1,0 +1,15 @@
+(* One mutable slot per domain, exactly like Cancel: the serve worker
+   domains run one request at a time, and the exploration engines install
+   the id into each child domain they spawn.  Connection threads
+   (systhreads multiplexed on domain 0) must NOT rely on this slot —
+   they pass the id explicitly (Trace.span ?req). *)
+let slot : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let none = 0
+let current () = !(Domain.DLS.get slot)
+
+let with_id id f =
+  let r = Domain.DLS.get slot in
+  let saved = !r in
+  r := id;
+  Fun.protect ~finally:(fun () -> r := saved) f

@@ -1,0 +1,34 @@
+type 'a t = { slots : 'a option Atomic.t array; head : int Atomic.t }
+
+let create capacity =
+  {
+    slots = Array.init (max 1 capacity) (fun _ -> Atomic.make None);
+    head = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let push t v =
+  let i = Atomic.fetch_and_add t.head 1 in
+  Atomic.set t.slots.(i mod Array.length t.slots) (Some v)
+
+let pushed t = Atomic.get t.head
+
+(* Reads race with concurrent pushes by design: a slot being overwritten
+   may surface as the newer or the older value (both were pushed, so
+   either is a truthful record); [None] slots — not yet written, or torn
+   right at the wrap boundary — are skipped. *)
+let to_list t =
+  let cap = Array.length t.slots in
+  let h = Atomic.get t.head in
+  let n = min h cap in
+  let out = ref [] in
+  for k = n - 1 downto 0 do
+    match Atomic.get t.slots.((h - 1 - k) mod cap) with
+    | Some v -> out := v :: !out
+    | None -> ()
+  done;
+  (* Newest first. *)
+  !out
+
+let find t p = List.find_opt p (to_list t)

@@ -1,0 +1,27 @@
+(** Fixed-size lock-free ring of the most recent values.
+
+    The flight-recorder substrate: {!push} is one fetch-and-add plus one
+    atomic store, safe from any number of domains and threads, and the
+    ring always holds (up to) the last [capacity] pushed values.  Reads
+    ({!to_list}, {!find}) are best-effort snapshots: they never block
+    writers and may miss a value that is being overwritten at that very
+    moment — acceptable by construction for a flight recorder, whose
+    contract is "the recent past", not an exact log. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create n] holds the last [max 1 n] pushed values. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val pushed : 'a t -> int
+(** Total number of values ever pushed (not the current occupancy). *)
+
+val to_list : 'a t -> 'a list
+(** The retained values, newest first. *)
+
+val find : 'a t -> ('a -> bool) -> 'a option
+(** First retained value (newest first) satisfying the predicate. *)

@@ -4,6 +4,7 @@ type event = {
   ts_ns : int;
   dur_ns : int;
   tid : int;
+  req : int;
   args : (string * string) list;
 }
 
@@ -19,9 +20,12 @@ let record ev =
   buf := ev :: !buf;
   Mutex.unlock lock
 
-let span ?(cat = "ddlock") ?(args = []) name f =
+let span ?(cat = "ddlock") ?req ?(args = []) name f =
   if not (Control.is_on ()) then f ()
   else begin
+    (* Resolve the request id at entry: the ambient slot could change
+       under a [Request.with_id] nested inside [f]. *)
+    let req = match req with Some r -> r | None -> Request.current () in
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
@@ -33,13 +37,15 @@ let span ?(cat = "ddlock") ?(args = []) name f =
             ts_ns = t0 - epoch;
             dur_ns = t1 - t0;
             tid = (Domain.self () :> int);
+            req;
             args;
           })
       f
   end
 
-let instant ?(cat = "ddlock") ?(args = []) name =
+let instant ?(cat = "ddlock") ?req ?(args = []) name =
   if Control.is_on () then
+    let req = match req with Some r -> r | None -> Request.current () in
     record
       {
         name;
@@ -47,14 +53,25 @@ let instant ?(cat = "ddlock") ?(args = []) name =
         ts_ns = Clock.now_ns () - epoch;
         dur_ns = -1;
         tid = (Domain.self () :> int);
+        req;
         args;
       }
+
+let chronological evs =
+  List.sort (fun a b -> compare (a.ts_ns, a.dur_ns) (b.ts_ns, b.dur_ns)) evs
 
 let events () =
   Mutex.lock lock;
   let evs = !buf in
   Mutex.unlock lock;
-  List.sort (fun a b -> compare (a.ts_ns, a.dur_ns) (b.ts_ns, b.dur_ns)) evs
+  chronological evs
+
+let take_request req =
+  Mutex.lock lock;
+  let mine, rest = List.partition (fun ev -> ev.req = req) !buf in
+  buf := rest;
+  Mutex.unlock lock;
+  chronological mine
 
 let clear () =
   Mutex.lock lock;
@@ -63,20 +80,7 @@ let clear () =
 
 (* ----------------------- Chrome trace JSON ------------------------- *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Json.escape
 
 let emit_event b ev =
   Buffer.add_string b
@@ -88,7 +92,11 @@ let emit_event b ev =
   if ev.dur_ns >= 0 then
     Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" (Clock.ns_to_us ev.dur_ns))
   else Buffer.add_string b ",\"s\":\"t\"";
-  (match ev.args with
+  let args =
+    if ev.req = Request.none then ev.args
+    else ("req", string_of_int ev.req) :: ev.args
+  in
+  (match args with
   | [] -> ()
   | args ->
       Buffer.add_string b ",\"args\":{";
@@ -101,9 +109,7 @@ let emit_event b ev =
       Buffer.add_char b '}');
   Buffer.add_char b '}'
 
-let write_chrome_json oc =
-  let evs = events () in
-  let b = Buffer.create 4096 in
+let buffer_chrome_json b evs =
   Buffer.add_string b "{\"traceEvents\":[";
   List.iteri
     (fun i ev ->
@@ -111,8 +117,14 @@ let write_chrome_json oc =
       Buffer.add_string b "\n  ";
       emit_event b ev)
     evs;
-  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
-  output_string oc (Buffer.contents b)
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let chrome_json evs =
+  let b = Buffer.create 4096 in
+  buffer_chrome_json b evs;
+  Buffer.contents b
+
+let write_chrome_json oc = output_string oc (chrome_json (events ()))
 
 let summary () =
   let tbl = Hashtbl.create 16 in

@@ -129,12 +129,17 @@ let cand_order a b =
   | 0 -> compare a.ord b.ord
   | c -> c
 
-(* Run [f 0 .. f (jobs-1)] concurrently; returning is the barrier. *)
+(* Run [f 0 .. f (jobs-1)] concurrently; returning is the barrier.
+   The spawning domain's request context is re-installed in each child
+   so worker spans stay attributed to the request being served. *)
 let run_phase ~jobs f =
   if jobs = 1 then f 0
   else begin
+    let req = Ddlock_obs.Request.current () in
     let doms =
-      Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> f (w + 1)))
+      Array.init (jobs - 1) (fun w ->
+          Domain.spawn (fun () ->
+              Ddlock_obs.Request.with_id req (fun () -> f (w + 1))))
     in
     f 0;
     Array.iter Domain.join doms
@@ -671,13 +676,15 @@ let fast_run ~jobs ~stop ~pending ~deques ~process =
     loop ()
   in
   let cancelled = ref None in
+  let req = Ddlock_obs.Request.current () in
   let doms =
     Array.init (jobs - 1) (fun i ->
         Domain.spawn (fun () ->
-            try worker (i + 1)
-            with e ->
-              Atomic.set stop true;
-              raise e))
+            Ddlock_obs.Request.with_id req (fun () ->
+                try worker (i + 1)
+                with e ->
+                  Atomic.set stop true;
+                  raise e)))
   in
   (try worker 0
    with Ddlock_obs.Cancel.Cancelled as e ->

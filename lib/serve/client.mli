@@ -13,8 +13,18 @@ type error =
   | Connect of string  (** socket missing / refused / not a socket *)
   | Io of string  (** connection died or stalled mid-reply *)
   | Malformed of string  (** the peer is not speaking the protocol *)
+  | Refused of string
+      (** well-formed [error] reply to a {!metrics} / {!flight} /
+          {!trace} call (e.g. an unknown trace id) *)
 
 val pp_error : Format.formatter -> error -> unit
+
+type meta = {
+  req_id : int option;  (** the server's [req=<id>] header extra *)
+  cached : bool option;  (** [cache=hit|miss], analyze replies only *)
+}
+
+val no_meta : meta
 
 val analyze :
   socket:string ->
@@ -27,10 +37,33 @@ val analyze :
     [ddlock analyze] input format) and waits for the reply.  One
     connection per call. *)
 
+val analyze_ex :
+  socket:string ->
+  ?max_states:int ->
+  ?symmetry:bool ->
+  ?deadline_ms:int ->
+  string ->
+  (reply * meta, error) result
+(** {!analyze}, additionally returning the reply-header extras: the
+    server-assigned request id (the handle for a follow-up [trace]
+    call) and whether the verdict came from the cache. *)
+
 val ping : socket:string -> (reply, error) result
 
 val stats : socket:string -> (reply, error) result
 (** The daemon's {!Server.stats_json} counters as a {!Verdict} body. *)
+
+val metrics : socket:string -> (string, error) result
+(** The daemon's Prometheus text exposition
+    ({!Server.metrics_text}). *)
+
+val flight : socket:string -> (string, error) result
+(** The daemon's flight-recorder JSON ({!Server.flight_json}). *)
+
+val trace : socket:string -> int -> (string, error) result
+(** [trace ~socket id] fetches request [id]'s span tree as Chrome
+    trace-event JSON; {!Refused} when the id is unknown, was not
+    traced, or has aged out of the daemon's rings. *)
 
 val raw : socket:string -> string -> (string, error) result
 (** Send [bytes] verbatim and return everything the server sends back

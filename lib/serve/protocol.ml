@@ -4,6 +4,9 @@ let default_max_request = 1_048_576
 type request =
   | Ping
   | Stats
+  | Metrics
+  | Flight
+  | Trace_of of int
   | Analyze of {
       body_len : int;
       max_states : int option;
@@ -34,11 +37,20 @@ let parse_request line =
   | magic :: rest when magic <> "ddlock/1" ->
       ignore rest;
       Error (Printf.sprintf "bad magic %S (expected ddlock/1)" (one_line magic))
-  | _ :: [] -> Error "missing verb (expected analyze | ping | stats)"
+  | _ :: [] ->
+      Error "missing verb (expected analyze | ping | stats | metrics | flight | trace)"
   | _ :: "ping" :: [] -> Ok Ping
   | _ :: "stats" :: [] -> Ok Stats
-  | _ :: "ping" :: _ | _ :: "stats" :: _ ->
-      Error "ping/stats take no arguments"
+  | _ :: "metrics" :: [] -> Ok Metrics
+  | _ :: "flight" :: [] -> Ok Flight
+  | _ :: "ping" :: _ | _ :: "stats" :: _ | _ :: "metrics" :: _
+  | _ :: "flight" :: _ ->
+      Error "ping/stats/metrics/flight take no arguments"
+  | _ :: "trace" :: [ id ] -> (
+      match int_of_token ~what:"trace request id" id with
+      | Error _ as e -> e
+      | Ok id -> Ok (Trace_of id))
+  | _ :: "trace" :: _ -> Error "trace takes exactly one request id"
   | _ :: "analyze" :: [] -> Error "analyze: missing body length"
   | _ :: "analyze" :: len :: opts -> (
       match int_of_token ~what:"analyze length" len with
@@ -79,7 +91,8 @@ let parse_request line =
               Ok (Analyze { body_len; max_states; symmetry; deadline_ms })))
   | _ :: verb :: _ ->
       Error
-        (Printf.sprintf "unknown verb %S (expected analyze | ping | stats)"
+        (Printf.sprintf
+           "unknown verb %S (expected analyze | ping | stats | metrics | flight | trace)"
            (one_line verb))
 
 let render_request_header ?max_states ?(symmetry = false) ?deadline_ms
@@ -98,6 +111,9 @@ let render_request_header ?max_states ?(symmetry = false) ?deadline_ms
 
 let ping_header = "ddlock/1 ping\n"
 let stats_header = "ddlock/1 stats\n"
+let metrics_header = "ddlock/1 metrics\n"
+let flight_header = "ddlock/1 flight\n"
+let trace_header id = Printf.sprintf "ddlock/1 trace %d\n" id
 
 type response_header =
   | Head_ok of { status : int; body_len : int }
@@ -128,10 +144,37 @@ let parse_response_header line =
       Ok (Head_error msg)
   | _ -> Error (Printf.sprintf "malformed response header %S" (one_line line))
 
-let render_response_header = function
+(* Trailing [k=v] tokens appended to ok/busy/timeout header lines
+   (e.g. [req=17 cache=hit]).  Older parsers — including pre-extras
+   builds of this client — ignore the extra tokens, so the extras are
+   backward- and forward-compatible.  [error] lines carry a free-form
+   message that may itself contain '=', so they never have extras. *)
+let header_extras line =
+  match String.split_on_char ' ' line with
+  | "error" :: _ -> []
+  | toks ->
+      List.filter_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i when i > 0 ->
+              Some
+                ( String.sub tok 0 i,
+                  String.sub tok (i + 1) (String.length tok - i - 1) )
+          | _ -> None)
+        toks
+
+let render_extras = function
+  | [] -> ""
+  | kvs ->
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (one_line v)) kvs)
+
+let render_response_header ?(extras = []) = function
   | Verdict { status; body } ->
-      Printf.sprintf "ok %d %d\n" status (String.length body)
+      Printf.sprintf "ok %d %d%s\n" status (String.length body)
+        (render_extras extras)
   | Error_line msg -> Printf.sprintf "error %s\n" (one_line msg)
-  | Busy { retry_after_ms } -> Printf.sprintf "busy %d\n" retry_after_ms
-  | Timeout -> "timeout\n"
+  | Busy { retry_after_ms } ->
+      Printf.sprintf "busy %d%s\n" retry_after_ms (render_extras extras)
+  | Timeout -> Printf.sprintf "timeout%s\n" (render_extras extras)
   | Pong -> "pong\n"

@@ -15,6 +15,9 @@ type config = {
          headroom before the deadline *)
   idle_timeout_ms : int;
   busy_retry_ms : int;
+  flight_cap : int;
+  trace_cap : int;
+  slow_ms : int;
 }
 
 let default_config ~socket_path =
@@ -30,6 +33,9 @@ let default_config ~socket_path =
     fast_under_pressure = true;
     idle_timeout_ms = 5_000;
     busy_retry_ms = 100;
+    flight_cap = 256;
+    trace_cap = 64;
+    slow_ms = 250;
   }
 
 type counters = {
@@ -41,6 +47,18 @@ type counters = {
   connections : int Atomic.t;
 }
 
+(* One completed request, as retained by the flight recorder. *)
+type flight_entry = {
+  f_id : int;
+  f_verb : string;
+  f_key : string;  (* verdict-cache key digest, "" for non-analyze *)
+  f_params : string;  (* rendered analyze options, "" when none *)
+  f_lat_ns : int;
+  f_status : int;  (* [ok] status, -1 when the reply carried none *)
+  f_outcome : string;  (* verdict | error | busy | timeout | ok | pong *)
+  f_cached : bool;
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
@@ -48,6 +66,13 @@ type t = {
   cache : (int * string) Cache.t;  (* key -> (status, rendered verdict) *)
   stop : bool Atomic.t;
   c : counters;
+  rid : int Atomic.t;  (* request-id source (ids start at 1) *)
+  inflight : int Atomic.t;
+  flight : flight_entry Obs.Ring.t;
+  traces : (int * Obs.Trace.event list) Obs.Ring.t;
+      (* span trees of the last [trace_cap] traced requests *)
+  slow : (flight_entry * Obs.Trace.event list) Obs.Ring.t;
+      (* requests over [slow_ms] or timed out, with their span trees *)
   conn_lock : Mutex.t;
   conn_done : Condition.t;
   conns : (Unix.file_descr, unit) Hashtbl.t;  (* live connections *)
@@ -74,6 +99,100 @@ let stats_json t =
     (Cache.length t.cache)
     (Pool.queue_length t.pool)
     (Atomic.get t.c.connections) t.cfg.workers
+
+(* ------------------------- metrics exposition ---------------------- *)
+
+(* The [daemon_*] section is synthesized from the server's own atomics
+   at render time, so it is populated (and correct) whether or not the
+   {!Obs.Control} switch is on — [ddlock top] must work against a
+   production daemon that is not tracing.  The request-latency
+   histogram is recorded through the gate-independent
+   [Histogram.record] for the same reason.  The obs registry is
+   rendered after it under a [ddlock_] prefix (distinct names, so the
+   two sections cannot collide even though [serve.*] mirrors overlap
+   semantically). *)
+let metrics_text t =
+  let snap = Obs.Metrics.snapshot () in
+  let latency =
+    match List.assoc_opt "serve.request_ns" snap with
+    | Some (Obs.Metrics.Hist h) -> h
+    | _ -> { Obs.Metrics.count = 0; sum = 0; buckets = [] }
+  in
+  let c n = Obs.Metrics.Counter n and g n = Obs.Metrics.Gauge n in
+  let daemon =
+    [
+      ("daemon_requests_total", c (Atomic.get t.c.received));
+      ("daemon_verdicts_total", c (Atomic.get t.c.verdicts));
+      ("daemon_errors_total", c (Atomic.get t.c.errors));
+      ("daemon_busy_total", c (Atomic.get t.c.busy));
+      ("daemon_timeouts_total", c (Atomic.get t.c.timeouts));
+      ("daemon_connections_total", c (Atomic.get t.c.connections));
+      ("daemon_cache_hits_total", c (Cache.hits t.cache));
+      ("daemon_cache_misses_total", c (Cache.misses t.cache));
+      ("daemon_cache_entries", g (Cache.length t.cache));
+      ("daemon_queue_depth", g (Pool.queue_length t.pool));
+      ("daemon_inflight", g (Atomic.get t.inflight));
+      ("daemon_workers", g t.cfg.workers);
+      ("daemon_flight_pushed_total", c (Obs.Ring.pushed t.flight));
+      ("daemon_request_ns", Obs.Metrics.Hist latency);
+    ]
+  in
+  Obs.Metrics.render_prometheus daemon
+  ^ Obs.Metrics.render_prometheus
+      (List.map (fun (name, v) -> ("ddlock_" ^ name, v)) snap)
+
+(* --------------------------- flight recorder ----------------------- *)
+
+let flight_entry_json e =
+  Printf.sprintf
+    {|{"id": %d, "verb": "%s", "key": "%s", "params": "%s", "lat_ns": %d, "status": %d, "outcome": "%s", "cached": %b}|}
+    e.f_id (Obs.Json.escape e.f_verb) (Obs.Json.escape e.f_key)
+    (Obs.Json.escape e.f_params) e.f_lat_ns e.f_status
+    (Obs.Json.escape e.f_outcome) e.f_cached
+
+let flight_json t =
+  let entries = Obs.Ring.to_list t.flight in
+  let slow = Obs.Ring.to_list t.slow in
+  Printf.sprintf
+    {|{"pushed": %d, "capacity": %d, "entries": [%s], "slow": [%s]}|}
+    (Obs.Ring.pushed t.flight)
+    (Obs.Ring.capacity t.flight)
+    (String.concat ", " (List.map flight_entry_json entries))
+    (String.concat ", "
+       (List.map
+          (fun (e, evs) ->
+            Printf.sprintf {|{"entry": %s, "events": %d}|}
+              (flight_entry_json e) (List.length evs))
+          slow))
+
+let trace_events t id =
+  match Obs.Ring.find t.traces (fun (i, _) -> i = id) with
+  | Some (_, evs) -> Some evs
+  | None -> (
+      match Obs.Ring.find t.slow (fun (e, _) -> e.f_id = id) with
+      | Some (_, evs) -> Some evs
+      | None -> None)
+
+(* Retire a completed request into the recorder: flight entry always;
+   span tree pulled out of the shared trace buffer (keeping it bounded)
+   whenever tracing produced one, retained twice for slow/timed-out
+   requests so a burst of fast requests cannot evict the interesting
+   tree before anyone asks for it. *)
+let retire t entry =
+  Obs.Ring.push t.flight entry;
+  let evs = Obs.Trace.take_request entry.f_id in
+  if evs <> [] then begin
+    Obs.Ring.push t.traces (entry.f_id, evs);
+    if
+      entry.f_outcome = "timeout"
+      || entry.f_lat_ns > t.cfg.slow_ms * 1_000_000
+    then Obs.Ring.push t.slow (entry, evs)
+  end
+
+let flight_dump t oc =
+  output_string oc (flight_json t);
+  output_char oc '\n';
+  flush oc
 
 (* ------------------------- request handling ------------------------ *)
 
@@ -117,11 +236,26 @@ let run_analysis t ~max_states ~symmetry ~deadline_ns sys =
     | None -> run ()
   with exn -> Crashed (Printexc.to_string exn)
 
+(* Mutable per-request scratch: the verb handlers fill it in as they
+   learn things, and the completed record becomes the flight entry. *)
+type req_info = {
+  mutable i_verb : string;
+  mutable i_key : string;
+  mutable i_params : string;
+  mutable i_status : int;
+  mutable i_outcome : string;
+  mutable i_cached : bool;
+}
+
 (* Per-request outcome: [`Continue] keeps the connection open for the
    next request, [`Close] ends it (error replies and dead peers). *)
-let handle_analyze t fd ~max_states ~symmetry ~deadline_ms body =
-  let reply r =
-    let head = Protocol.render_response_header r in
+let handle_analyze t fd ~req ~info ~max_states ~symmetry ~deadline_ms body =
+  let reply ?(extras = []) r =
+    let head =
+      Protocol.render_response_header
+        ~extras:(("req", string_of_int req) :: extras)
+        r
+    in
     let payload =
       match r with Protocol.Verdict { body; _ } -> head ^ body | _ -> head
     in
@@ -130,10 +264,13 @@ let handle_analyze t fd ~max_states ~symmetry ~deadline_ms body =
   let error msg =
     Atomic.incr t.c.errors;
     Obs.Metrics.Counter.incr m_errors;
+    info.i_outcome <- "error";
     ignore (reply (Protocol.Error_line msg));
     `Close
   in
-  match Model.Parser.parse body with
+  match
+    Obs.Trace.span "serve.parse" ~req @@ fun () -> Model.Parser.parse body
+  with
   | Error e ->
       error
         ("parse: "
@@ -149,12 +286,31 @@ let handle_analyze t fd ~max_states ~symmetry ~deadline_ms body =
         | None -> t.cfg.default_deadline_ms
       in
       let key = cache_key ~max_states ~symmetry sys in
-      match Cache.find t.cache key with
+      info.i_key <- key;
+      info.i_params <-
+        String.concat " "
+          (List.concat
+             [
+               (match max_states with
+               | Some n -> [ Printf.sprintf "max-states=%d" n ]
+               | None -> []);
+               (if symmetry then [ "symmetry" ] else []);
+               (match deadline_ms with
+               | Some n -> [ Printf.sprintf "deadline-ms=%d" n ]
+               | None -> []);
+             ]);
+      match
+        Obs.Trace.span "serve.cache" ~req @@ fun () -> Cache.find t.cache key
+      with
       | Some (status, text) ->
           Obs.Metrics.Counter.incr m_cache_hits;
           Atomic.incr t.c.verdicts;
           Obs.Metrics.Counter.incr m_verdicts;
-          reply (Protocol.Verdict { status; body = text })
+          info.i_status <- status;
+          info.i_outcome <- "verdict";
+          info.i_cached <- true;
+          reply ~extras:[ ("cache", "hit") ]
+            (Protocol.Verdict { status; body = text })
       | None -> (
           Obs.Metrics.Counter.incr m_cache_misses;
           let deadline_ns =
@@ -164,34 +320,63 @@ let handle_analyze t fd ~max_states ~symmetry ~deadline_ms body =
           in
           let cell = Pool.Cell.create () in
           let job () =
+            (* The worker domain serves one request at a time, so the
+               ambient slot is trustworthy there — and it propagates
+               into the engines' child domains (see {!Obs.Request}). *)
+            Obs.Request.with_id req @@ fun () ->
             Pool.Cell.fill cell
-              (run_analysis t ~max_states ~symmetry ~deadline_ns sys)
+              (Obs.Trace.span "serve.analysis" (fun () ->
+                   run_analysis t ~max_states ~symmetry ~deadline_ns sys))
           in
           if not (Pool.submit t.pool job) then begin
             Atomic.incr t.c.busy;
             Obs.Metrics.Counter.incr m_busy;
-            reply (Protocol.Busy { retry_after_ms = t.cfg.busy_retry_ms })
+            info.i_outcome <- "busy";
+            reply ~extras:[ ("cache", "miss") ]
+              (Protocol.Busy { retry_after_ms = t.cfg.busy_retry_ms })
           end
           else
-            match Pool.Cell.wait cell with
+            match
+              Obs.Trace.span "serve.wait" ~req @@ fun () -> Pool.Cell.wait cell
+            with
             | Done (status, text) ->
                 Cache.add t.cache key (status, text);
                 Atomic.incr t.c.verdicts;
                 Obs.Metrics.Counter.incr m_verdicts;
-                reply (Protocol.Verdict { status; body = text })
+                info.i_status <- status;
+                info.i_outcome <- "verdict";
+                reply ~extras:[ ("cache", "miss") ]
+                  (Protocol.Verdict { status; body = text })
             | Timed_out ->
                 Atomic.incr t.c.timeouts;
                 Obs.Metrics.Counter.incr m_timeouts;
-                reply Protocol.Timeout
+                info.i_outcome <- "timeout";
+                reply ~extras:[ ("cache", "miss") ] Protocol.Timeout
             | Crashed msg ->
                 error ("analysis failed: " ^ Protocol.one_line msg)))
 
 let handle_request t fd line =
   Atomic.incr t.c.received;
   Obs.Metrics.Counter.incr m_requests;
+  let req = 1 + Atomic.fetch_and_add t.rid 1 in
+  Atomic.incr t.inflight;
+  let info =
+    {
+      i_verb = "?";
+      i_key = "";
+      i_params = "";
+      i_status = -1;
+      i_outcome = "error";
+      i_cached = false;
+    }
+  in
   let t0 = Obs.Clock.now_ns () in
   let reply r =
-    let head = Protocol.render_response_header r in
+    let head =
+      Protocol.render_response_header
+        ~extras:[ ("req", string_of_int req) ]
+        r
+    in
     let payload =
       match r with Protocol.Verdict { body; _ } -> head ^ body | _ -> head
     in
@@ -200,18 +385,42 @@ let handle_request t fd line =
   let error msg =
     Atomic.incr t.c.errors;
     Obs.Metrics.Counter.incr m_errors;
+    info.i_outcome <- "error";
     ignore (reply (Protocol.Error_line msg));
     `Close
   in
+  let ok_body verb body =
+    info.i_verb <- verb;
+    info.i_status <- 0;
+    info.i_outcome <- "ok";
+    reply (Protocol.Verdict { status = 0; body })
+  in
   let outcome =
-    Obs.Trace.span "serve.request" @@ fun () ->
+    Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
+    (* Connection threads are systhreads multiplexed on domain 0, so the
+       domain-local ambient slot is not trustworthy here: every span on
+       this thread names its request explicitly. *)
+    Obs.Trace.span "serve.request" ~req @@ fun () ->
     match Protocol.parse_request line with
     | Error msg -> error msg
-    | Ok Protocol.Ping -> reply Protocol.Pong
-    | Ok Protocol.Stats ->
-        reply (Protocol.Verdict { status = 0; body = stats_json t ^ "\n" })
+    | Ok Protocol.Ping ->
+        info.i_verb <- "ping";
+        info.i_outcome <- "pong";
+        reply Protocol.Pong
+    | Ok Protocol.Stats -> ok_body "stats" (stats_json t ^ "\n")
+    | Ok Protocol.Metrics -> ok_body "metrics" (metrics_text t)
+    | Ok Protocol.Flight -> ok_body "flight" (flight_json t ^ "\n")
+    | Ok (Protocol.Trace_of id) -> (
+        info.i_verb <- "trace";
+        match trace_events t id with
+        | Some evs -> ok_body "trace" (Obs.Trace.chrome_json evs)
+        | None ->
+            error
+              (Printf.sprintf
+                 "trace: request %d unknown (not traced, or aged out)" id))
     | Ok (Protocol.Analyze { body_len; max_states; symmetry; deadline_ms })
       -> (
+        info.i_verb <- "analyze";
         if body_len > t.cfg.max_request_bytes then
           error
             (Printf.sprintf "request too large (%d > %d bytes)" body_len
@@ -221,9 +430,22 @@ let handle_request t fd line =
           | Error `Slow -> error "slow client: body read timed out"
           | Error _ -> `Close (* peer vanished mid-body *)
           | Ok body ->
-              handle_analyze t fd ~max_states ~symmetry ~deadline_ms body)
+              handle_analyze t fd ~req ~info ~max_states ~symmetry
+                ~deadline_ms body)
   in
-  Obs.Metrics.Histogram.observe m_request_ns (Obs.Clock.now_ns () - t0);
+  let lat_ns = Obs.Clock.now_ns () - t0 in
+  Obs.Metrics.Histogram.record m_request_ns lat_ns;
+  retire t
+    {
+      f_id = req;
+      f_verb = info.i_verb;
+      f_key = info.i_key;
+      f_params = info.i_params;
+      f_lat_ns = lat_ns;
+      f_status = info.i_status;
+      f_outcome = info.i_outcome;
+      f_cached = info.i_cached;
+    };
   outcome
 
 let handle_connection t fd =
@@ -345,6 +567,11 @@ let start cfg =
           timeouts = Atomic.make 0;
           connections = Atomic.make 0;
         };
+      rid = Atomic.make 0;
+      inflight = Atomic.make 0;
+      flight = Obs.Ring.create cfg.flight_cap;
+      traces = Obs.Ring.create cfg.trace_cap;
+      slow = Obs.Ring.create cfg.trace_cap;
       conn_lock = Mutex.create ();
       conn_done = Condition.create ();
       conns = Hashtbl.create 16;

@@ -45,12 +45,17 @@ type config = {
           and deadline polls reach the search (see above) *)
   idle_timeout_ms : int;  (** per-read deadline (slowloris guard) *)
   busy_retry_ms : int;  (** retry hint sent with [busy] *)
+  flight_cap : int;  (** flight-recorder ring: last N request summaries *)
+  trace_cap : int;  (** retained span trees (recent ring + slow ring) *)
+  slow_ms : int;
+      (** latency threshold (ms) above which a request's span tree is
+          pinned in the slow ring (timeouts are always pinned) *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, queue 16, cache 128, 1 MiB bodies, no default deadline,
     [jobs = 1], fast-under-pressure on, 5 s idle timeout, 100 ms retry
-    hint. *)
+    hint, flight ring 256, trace rings 64, slow threshold 250 ms. *)
 
 type t
 
@@ -74,3 +79,34 @@ val stats_json : t -> string
 (** One-line JSON counters: requests received, verdicts, errors, busy,
     timeouts, cache hits/misses/entries, queue length, connections,
     workers.  Also the body of the [stats] protocol verb. *)
+
+(** {1 Request-scoped observability}
+
+    Every accepted request gets an id (from 1, echoed to the client as a
+    [req=<id>] header extra) and a root [serve.request] span; the parse,
+    cache-lookup, pool-wait and analysis phases — including the engines'
+    child domains — record child spans under that id.  On completion the
+    request's span tree is pulled out of the shared trace buffer into a
+    bounded ring, so a long-lived daemon's trace memory stays constant.  *)
+
+val metrics_text : t -> string
+(** Prometheus text exposition.  The [daemon_*] section (request /
+    verdict / error / busy / timeout counters, cache hits and misses,
+    queue depth, in-flight gauge, request-latency histogram) is
+    synthesized from always-on server state, independent of the
+    {!Ddlock.Obs.Control} switch; the full obs registry follows under a
+    [ddlock_] prefix.  Also the body of the [metrics] protocol verb. *)
+
+val flight_json : t -> string
+(** The flight recorder as one JSON document: the last [flight_cap]
+    completed request summaries (id, verb, cache-key digest, params,
+    latency, status, outcome, cached) plus the slow-ring index.  Also
+    the body of the [flight] protocol verb. *)
+
+val flight_dump : t -> out_channel -> unit
+(** [flight_json] plus a newline, flushed — the [SIGUSR1] dump. *)
+
+val trace_events : t -> int -> Ddlock.Obs.Trace.event list option
+(** The retained span tree of a completed request, if it was traced and
+    has not aged out of the rings.  [trace <id>] serves this as Chrome
+    trace-event JSON. *)

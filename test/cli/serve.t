@@ -5,9 +5,10 @@ serves is a one-line error and exit 2:
   ddlock: connect: ./no.sock: No such file or directory
   [2]
 
-Start a daemon and wait for its socket to appear:
+Start a daemon (with telemetry, so the trace verb has span trees to
+serve) and wait for its socket to appear:
 
-  $ ../../bin/ddlock_cli.exe serve --socket ./d.sock 2> serve.log &
+  $ ../../bin/ddlock_cli.exe serve --socket ./d.sock --stats 2> serve.log &
   $ SRV=$!
   $ for _ in $(seq 100); do test -S ./d.sock && break; sleep 0.1; done
 
@@ -58,6 +59,39 @@ After all that abuse the daemon still answers:
 
   $ ../../bin/ddlock_cli.exe request --socket ./d.sock --ping
   pong
+
+--stats times the request on stderr (latency, cache status, request
+id) and leaves the verdict on stdout untouched; --trace fetches the
+request's span tree as Chrome trace-event JSON:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --stats --trace t.json fig2.txn > stats.out 2> stats.err
+  [1]
+  $ cmp local.out stats.out
+  $ grep -Ec '^ddlock: [0-9.]+ ms, cache hit, req [0-9]+$' stats.err
+  1
+  $ grep -c '"traceEvents"' t.json
+  1
+  $ grep -c '"name":"serve.request"' t.json
+  1
+
+The metrics verb speaks Prometheus text exposition, always-on latency
+histogram included:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --metrics > metrics.prom
+  $ grep -c '^# TYPE daemon_requests_total counter$' metrics.prom
+  1
+  $ grep -c '^daemon_request_ns_bucket{le="+Inf"} ' metrics.prom
+  1
+
+The flight verb dumps the recorder ring as JSON:
+
+  $ ../../bin/ddlock_cli.exe request --socket ./d.sock --flight | grep -c '"pushed"'
+  1
+
+One dashboard refresh:
+
+  $ ../../bin/ddlock_cli.exe top --socket ./d.sock --count 1 | grep -c 'latency  p50'
+  1
 
 SIGTERM drains gracefully: the daemon exits 0 and unlinks its socket.
 

@@ -12,6 +12,11 @@ let check = Alcotest.check
 let int_t = Alcotest.int
 let bool_t = Alcotest.bool
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* Each test runs with a clean registry state and leaves the switch
    off, so suites running after this one see the default-off world. *)
 let with_obs f =
@@ -138,6 +143,185 @@ let test_reset () =
   check int_t "still usable after reset" 2 (Metrics.Counter.value c)
 
 (* ------------------------------------------------------------------ *)
+(* Quantiles, deltas, exposition                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_record_ungated () =
+  Metrics.reset ();
+  Obs.Control.off ();
+  let h = Metrics.Histogram.make "test.record" in
+  Metrics.Histogram.observe h 5;
+  Metrics.Histogram.record h 5;
+  (match List.assoc "test.record" (Metrics.snapshot ()) with
+  | Metrics.Hist { count; _ } ->
+      check int_t "only record lands while off" 1 count
+  | _ -> Alcotest.fail "test.record must be a histogram");
+  Metrics.reset ()
+
+let test_quantile () =
+  with_obs @@ fun () ->
+  let h = Metrics.Histogram.make "test.quant" in
+  (* 100 samples of 1000 (bucket 9, [512, 1024)). *)
+  for _ = 1 to 100 do
+    Metrics.Histogram.observe h 1000
+  done;
+  match List.assoc "test.quant" (Metrics.snapshot ()) with
+  | Metrics.Hist h ->
+      check bool_t "empty hist quantile is 0" true
+        (Metrics.quantile { Metrics.count = 0; sum = 0; buckets = [] } 0.5
+         = 0.0);
+      (* Log2 buckets: the estimate must land inside the sample's
+         bucket, i.e. within a factor of 2. *)
+      List.iter
+        (fun q ->
+          let v = Metrics.quantile h q in
+          check bool_t
+            (Printf.sprintf "q=%.2f in bucket" q)
+            true
+            (v >= 512.0 && v <= 1024.0))
+        [ 0.01; 0.5; 0.9; 0.99; 1.0 ]
+  | _ -> Alcotest.fail "test.quant must be a histogram"
+
+let test_delta () =
+  with_obs @@ fun () ->
+  let c = Metrics.Counter.make "test.delta.c" in
+  let g = Metrics.Gauge.make "test.delta.g" in
+  let h = Metrics.Histogram.make "test.delta.h" in
+  Metrics.Counter.add c 5;
+  Metrics.Gauge.set g 10;
+  Metrics.Histogram.observe h 3;
+  let before = Metrics.snapshot () in
+  Metrics.Counter.add c 7;
+  Metrics.Gauge.set g 4;
+  Metrics.Histogram.observe h 900;
+  let after = Metrics.snapshot () in
+  let d = Metrics.delta ~before ~after in
+  (match List.assoc "test.delta.c" d with
+  | Metrics.Counter n -> check int_t "counter delta" 7 n
+  | _ -> Alcotest.fail "counter expected");
+  (match List.assoc "test.delta.g" d with
+  | Metrics.Gauge n -> check int_t "gauge keeps after value" 4 n
+  | _ -> Alcotest.fail "gauge expected");
+  match List.assoc "test.delta.h" d with
+  | Metrics.Hist { count; sum; buckets } ->
+      check int_t "hist count delta" 1 count;
+      check int_t "hist sum delta" 900 sum;
+      check
+        Alcotest.(list (pair int_t int_t))
+        "only the new bucket" [ (9, 1) ] buckets
+  | _ -> Alcotest.fail "histogram expected"
+
+let test_render_prometheus () =
+  with_obs @@ fun () ->
+  let c = Metrics.Counter.make "test.prom.total" in
+  let h = Metrics.Histogram.make "test.prom.ns" in
+  Metrics.Counter.add c 3;
+  Metrics.Histogram.observe h 1;
+  Metrics.Histogram.observe h 700;
+  let text = Metrics.render_prometheus (Metrics.snapshot ()) in
+  List.iter
+    (fun needle ->
+      check bool_t needle true (contains text needle))
+    [
+      (* '.' sanitized to '_' *)
+      "# TYPE test_prom_total counter";
+      "test_prom_total 3";
+      "# TYPE test_prom_ns histogram";
+      "test_prom_ns_bucket{le=\"1\"} 1";
+      (* bucket 9 = [512, 1024), inclusive upper bound 1023, cumulative *)
+      "test_prom_ns_bucket{le=\"1023\"} 2";
+      "test_prom_ns_bucket{le=\"+Inf\"} 2";
+      "test_prom_ns_sum 701";
+      "test_prom_ns_count 2";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder ring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_basics () =
+  let r = Obs.Ring.create 4 in
+  check int_t "capacity" 4 (Obs.Ring.capacity r);
+  check bool_t "empty" true (Obs.Ring.to_list r = []);
+  List.iter (Obs.Ring.push r) [ 1; 2; 3 ];
+  check Alcotest.(list int_t) "newest first" [ 3; 2; 1 ] (Obs.Ring.to_list r);
+  List.iter (Obs.Ring.push r) [ 4; 5; 6 ];
+  check int_t "pushed counts everything" 6 (Obs.Ring.pushed r);
+  check
+    Alcotest.(list int_t)
+    "only the last capacity retained" [ 6; 5; 4; 3 ] (Obs.Ring.to_list r);
+  check bool_t "find newest match" true (Obs.Ring.find r (fun v -> v > 4) = Some 6);
+  check bool_t "find miss" true (Obs.Ring.find r (fun v -> v > 9) = None)
+
+let test_ring_concurrent () =
+  let r = Obs.Ring.create 64 in
+  let per_domain = 5_000 and domains = 4 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Ring.push r ((d * per_domain) + i)
+            done))
+  in
+  List.iter Domain.join ds;
+  check int_t "every push counted" (domains * per_domain) (Obs.Ring.pushed r);
+  (* Reads are best-effort, but quiescent reads see a full ring. *)
+  check int_t "full after quiescence" 64 (List.length (Obs.Ring.to_list r))
+
+(* ------------------------------------------------------------------ *)
+(* Request context and request-tagged tracing                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_context () =
+  check int_t "no ambient request" Obs.Request.none (Obs.Request.current ());
+  let inner =
+    Obs.Request.with_id 7 (fun () ->
+        let mid = Obs.Request.current () in
+        (try Obs.Request.with_id 9 (fun () -> raise Exit) with Exit -> ());
+        (mid, Obs.Request.current ()))
+  in
+  check (Alcotest.pair int_t int_t) "nested install and restore" (7, 7) inner;
+  check int_t "restored after exit" Obs.Request.none (Obs.Request.current ())
+
+let test_take_request () =
+  with_obs @@ fun () ->
+  Obs.Request.with_id 3 (fun () ->
+      Trace.span "test.req.a" (fun () ->
+          Trace.span "test.req.b" (fun () -> ())));
+  Trace.span "test.unrelated" (fun () -> ());
+  let mine = Trace.take_request 3 in
+  check int_t "both tagged events taken" 2 (List.length mine);
+  check bool_t "chronological (outer first)" true
+    (match mine with
+    | [ a; b ] -> a.Trace.name = "test.req.a" && b.Trace.name = "test.req.b"
+    | _ -> false);
+  check bool_t "ids carried" true
+    (List.for_all (fun ev -> ev.Trace.req = 3) mine);
+  (match Trace.events () with
+  | [ ev ] -> check Alcotest.string "untagged event stays" "test.unrelated" ev.Trace.name
+  | evs -> Alcotest.failf "expected 1 remaining event, got %d" (List.length evs));
+  check int_t "second take is empty" 0 (List.length (Trace.take_request 3));
+  (* The request id round-trips into the chrome args. *)
+  Obs.Request.with_id 5 (fun () -> Trace.span "test.req.c" (fun () -> ()));
+  let json = Trace.chrome_json (Trace.take_request 5) in
+  (match Obs.Json.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid chrome json: %s" e);
+  check bool_t "req arg emitted" true (contains json {|"req":"5"|})
+
+let test_request_propagates_to_child_domains () =
+  with_obs @@ fun () ->
+  let sys =
+    Ddlock_model.System.copies (Ddlock_workload.Gentx.guard_ring 4) 2
+  in
+  Obs.Request.with_id 11 (fun () ->
+      ignore (Par.find_deadlock ~jobs:3 sys));
+  let evs = Trace.events () in
+  check bool_t "spans recorded" true (evs <> []);
+  check bool_t "every span carries the request id" true
+    (List.for_all (fun ev -> ev.Trace.req = 11) evs)
+
+(* ------------------------------------------------------------------ *)
 (* Tracing                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -153,11 +337,6 @@ let test_span_records () =
   (* Spans survive the exceptions the engines escape with. *)
   (try Trace.span "test.raises" (fun () -> raise Exit) with Exit -> ());
   check int_t "event recorded on raise" 2 (List.length (Trace.events ()))
-
-let contains s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
 
 let test_chrome_json_valid () =
   with_obs @@ fun () ->
@@ -250,6 +429,17 @@ let suite =
       test_snapshot_deterministic;
     Alcotest.test_case "off is a no-op" `Quick test_off_is_noop;
     Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "histogram record is ungated" `Quick
+      test_histogram_record_ungated;
+    Alcotest.test_case "quantile" `Quick test_quantile;
+    Alcotest.test_case "snapshot delta" `Quick test_delta;
+    Alcotest.test_case "prometheus exposition" `Quick test_render_prometheus;
+    Alcotest.test_case "ring basics" `Quick test_ring_basics;
+    Alcotest.test_case "ring concurrent pushes" `Quick test_ring_concurrent;
+    Alcotest.test_case "request context" `Quick test_request_context;
+    Alcotest.test_case "take_request" `Quick test_take_request;
+    Alcotest.test_case "request id reaches child domains" `Quick
+      test_request_propagates_to_child_domains;
     Alcotest.test_case "span records" `Quick test_span_records;
     Alcotest.test_case "chrome trace JSON valid" `Quick test_chrome_json_valid;
     Alcotest.test_case "json validator" `Quick test_json_validate;

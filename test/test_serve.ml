@@ -95,6 +95,63 @@ let test_protocol_roundtrip () =
       check bool_t "sanitized" false (String.contains msg '\n')
   | _ -> Alcotest.fail "error round-trip")
 
+let test_protocol_observability_verbs () =
+  (match Protocol.parse_request "ddlock/1 metrics" with
+  | Ok Protocol.Metrics -> ()
+  | _ -> Alcotest.fail "metrics");
+  (match Protocol.parse_request "ddlock/1 flight" with
+  | Ok Protocol.Flight -> ()
+  | _ -> Alcotest.fail "flight");
+  (match Protocol.parse_request "ddlock/1 trace 42" with
+  | Ok (Protocol.Trace_of 42) -> ()
+  | _ -> Alcotest.fail "trace");
+  let bad l =
+    match Protocol.parse_request l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should reject: " ^ l)
+  in
+  bad "ddlock/1 trace";
+  bad "ddlock/1 trace -1";
+  bad "ddlock/1 trace 1 2";
+  bad "ddlock/1 metrics now";
+  bad "ddlock/1 flight x"
+
+let test_header_extras () =
+  let line r extras =
+    let l = Protocol.render_response_header ~extras r in
+    String.sub l 0 (String.length l - 1)
+  in
+  let ok =
+    line (Protocol.Verdict { status = 1; body = "xyz" })
+      [ ("req", "17"); ("cache", "hit") ]
+  in
+  (* Extras ride behind the standard tokens, so a parser that predates
+     them still reads the header. *)
+  (match Protocol.parse_response_header ok with
+  | Ok (Protocol.Head_ok { status = 1; body_len = 3 }) -> ()
+  | _ -> Alcotest.fail "ok header with extras still parses");
+  check
+    Alcotest.(list (pair string_t string_t))
+    "extras round-trip"
+    [ ("req", "17"); ("cache", "hit") ]
+    (Protocol.header_extras ok);
+  (match
+     Protocol.parse_response_header
+       (line (Protocol.Busy { retry_after_ms = 9 }) [ ("req", "3") ])
+   with
+  | Ok (Protocol.Head_busy { retry_after_ms = 9 }) -> ()
+  | _ -> Alcotest.fail "busy with extras");
+  (match
+     Protocol.parse_response_header (line Protocol.Timeout [ ("req", "4") ])
+   with
+  | Ok Protocol.Head_timeout -> ()
+  | _ -> Alcotest.fail "timeout with extras");
+  (* An error message containing '=' must not leak fake extras. *)
+  check
+    Alcotest.(list (pair string_t string_t))
+    "error lines carry no extras" []
+    (Protocol.header_extras "error bad option max-states=no")
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -480,6 +537,327 @@ let test_chaos_battery () =
   | Error e -> Alcotest.fail ("stats json invalid: " ^ e));
   ignore (Atomic.get busy_seen)
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped observability                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let len = String.length needle in
+  let n = String.length hay in
+  let rec go i = i + len <= n && (String.sub hay i len = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let len = String.length needle in
+  let n = String.length hay in
+  let rec go i acc =
+    if i + len > n then acc
+    else if String.sub hay i len = needle then go (i + len) (acc + 1)
+    else go (i + 1) acc
+  in
+  if len = 0 then 0 else go 0 0
+
+(* The recorder is written after the reply (latency must cover the whole
+   request), so a client that reacts instantly can out-race it: re-fetch
+   until the predicate holds. *)
+let rec eventually ?(tries = 40) fetch pred =
+  let v = fetch () in
+  if pred v || tries = 0 then v
+  else begin
+    Thread.delay 0.025;
+    eventually ~tries:(tries - 1) fetch pred
+  end
+
+(* The servers under test live in-process, so tracing rides the global
+   obs switch.  Leave it exactly as found (DDLOCK_OBS=1 runs arrive
+   with it already on). *)
+let with_tracing f =
+  let was_on = Obs.Control.is_on () in
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Obs.Control.on ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not was_on then Obs.Control.off ();
+      Obs.Metrics.reset ();
+      Obs.Trace.clear ())
+    f
+
+(* Well-formedness of one request's span tree: exactly one
+   [serve.request] root, every event tagged with the request id, and —
+   unless [relaxed] (a timed-out request's abandoned worker span can
+   outlive the root) — every child interval nested inside the root's. *)
+let assert_span_tree ?(relaxed = false) ~req evs =
+  (match List.filter (fun e -> e.Obs.Trace.name = "serve.request") evs with
+  | [ root ] ->
+      let lo = root.Obs.Trace.ts_ns in
+      let hi = root.Obs.Trace.ts_ns + root.Obs.Trace.dur_ns in
+      List.iter
+        (fun e ->
+          check int_t "event tagged with its request id" req e.Obs.Trace.req;
+          if e.Obs.Trace.name <> "serve.request" then begin
+            check bool_t "child starts inside the root" true
+              (e.Obs.Trace.ts_ns >= lo);
+            if not relaxed then
+              check bool_t
+                (Printf.sprintf "%s ends inside the root" e.Obs.Trace.name)
+                true
+                (e.Obs.Trace.ts_ns + max 0 e.Obs.Trace.dur_ns <= hi)
+          end)
+        evs
+  | roots ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one serve.request root, got %d"
+           (List.length roots)));
+  match Obs.Json.validate (Obs.Trace.chrome_json evs) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("chrome trace json invalid: " ^ e)
+
+let test_request_meta () =
+  with_server @@ fun ~socket _t ->
+  let source = source_of (Ddlock_workload.Gentx.dining_philosophers 3) in
+  let first_id =
+    match Client.analyze_ex ~socket source with
+    | Ok (Client.Verdict _, meta) ->
+        check (Alcotest.option bool_t) "first request is a miss" (Some false)
+          meta.Client.cached;
+        (match meta.Client.req_id with
+        | Some id ->
+            check bool_t "request ids start positive" true (id > 0);
+            id
+        | None -> Alcotest.fail "verdict carried no request id")
+    | Ok _ -> Alcotest.fail "expected a verdict"
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e)
+  in
+  match Client.analyze_ex ~socket source with
+  | Ok (Client.Verdict _, meta) ->
+      check (Alcotest.option bool_t) "second request is a hit" (Some true)
+        meta.Client.cached;
+      (match meta.Client.req_id with
+      | Some id -> check bool_t "request ids increase" true (id > first_id)
+      | None -> Alcotest.fail "cached verdict carried no request id")
+  | _ -> Alcotest.fail "expected a cached verdict"
+
+let test_metrics_exposition () =
+  (* The latency histogram lives in the process-global registry; zero it
+     so the counts below are this test's alone. *)
+  Obs.Metrics.reset ();
+  with_server @@ fun ~socket _t ->
+  let source = source_of (Ddlock_workload.Gentx.dining_philosophers 3) in
+  let _ = expect_verdict (Client.analyze ~socket source) in
+  let _ = expect_verdict (Client.analyze ~socket source) in
+  (match Client.ping ~socket with Ok Client.Pong -> () | _ -> Alcotest.fail "ping");
+  match
+    eventually
+      (fun () -> Client.metrics ~socket)
+      (function
+        | Ok text -> contains text "daemon_request_ns_count 3"
+        | Error _ -> true)
+  with
+  | Ok text ->
+      List.iter
+        (fun needle ->
+          check bool_t ("exposition has " ^ needle) true (contains text needle))
+        [
+          "# TYPE daemon_requests_total counter";
+          "# TYPE daemon_request_ns histogram";
+          "# TYPE daemon_workers gauge";
+          "daemon_verdicts_total 2";
+          "daemon_cache_hits_total 1";
+          "daemon_cache_misses_total 1";
+          "daemon_request_ns_bucket{le=\"+Inf\"}";
+          "daemon_request_ns_sum";
+          "daemon_request_ns_count";
+        ];
+      (* Ops metrics are always on: the obs switch is off here, yet the
+         latency histogram still counted every request. *)
+      check bool_t "latency histogram populated while obs is off" true
+        (contains text "daemon_request_ns_count 3")
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e)
+
+let test_flight_recorder_bounded () =
+  with_server ~tweak:(fun c -> { c with Server.flight_cap = 4 })
+  @@ fun ~socket _t ->
+  let source = source_of (Ddlock_workload.Gentx.dining_philosophers 3) in
+  for _ = 1 to 10 do
+    ignore (expect_verdict (Client.analyze ~socket source))
+  done;
+  (* Each flight fetch is itself a request and joins the ring after its
+     reply, so [pushed] can only be read as a lower bound. *)
+  let pushed_of body =
+    try Scanf.sscanf body "{\"pushed\": %d" (fun n -> n) with _ -> -1
+  in
+  match
+    eventually
+      (fun () -> Client.flight ~socket)
+      (function Ok body -> pushed_of body >= 10 | Error _ -> true)
+  with
+  | Ok body ->
+      (match Obs.Json.validate body with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("flight json invalid: " ^ e));
+      check bool_t "pushed counts every request" true (pushed_of body >= 10);
+      check bool_t "capacity reported" true (contains body {|"capacity": 4|});
+      (* Boundedness is the contract; entry order is completion order,
+         which concurrency may permute. *)
+      check int_t "ring keeps at most flight_cap entries" 4
+        (count_occurrences body {|"id":|})
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e)
+
+let test_trace_span_tree () =
+  with_tracing @@ fun () ->
+  with_server @@ fun ~socket t ->
+  let source = source_of (Ddlock_workload.Gentx.dining_philosophers 4) in
+  match Client.analyze_ex ~socket source with
+  | Ok (Client.Verdict _, { Client.req_id = Some id; _ }) ->
+      (match eventually (fun () -> Server.trace_events t id) Option.is_some with
+      | Some evs ->
+          assert_span_tree ~req:id evs;
+          let names = List.map (fun e -> e.Obs.Trace.name) evs in
+          List.iter
+            (fun phase ->
+              check bool_t (phase ^ " span present") true (List.mem phase names))
+            [
+              "serve.request"; "serve.parse"; "serve.cache"; "serve.wait";
+              "serve.analysis";
+            ]
+      | None -> Alcotest.fail "trace_events lost the request");
+      (* The same tree over the wire. *)
+      (match Client.trace ~socket id with
+      | Ok json ->
+          (match Obs.Json.validate json with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("trace json invalid: " ^ e));
+          check bool_t "chrome trace envelope" true
+            (contains json {|"traceEvents"|});
+          check bool_t "events tagged with the request id" true
+            (contains json (Printf.sprintf {|"req":"%d"|} id))
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e));
+      (* Unknown ids are refused without killing the daemon. *)
+      (match Client.trace ~socket 424242 with
+      | Error (Client.Refused _) -> ()
+      | _ -> Alcotest.fail "unknown trace id should be refused");
+      (match Client.ping ~socket with
+      | Ok Client.Pong -> ()
+      | _ -> Alcotest.fail "daemon died after trace requests")
+  | _ -> Alcotest.fail "expected a verdict with a request id"
+
+(* The acceptance battery: >= 100 concurrent mixed requests against a
+   live traced daemon, then retrieve one chosen slow request's complete
+   span tree through the flight and trace verbs. *)
+let test_traced_battery () =
+  with_tracing @@ fun () ->
+  with_server ~tweak:(fun c -> { c with Server.workers = 2; cache_cap = 16 })
+  @@ fun ~socket t ->
+  let sources =
+    List.map source_of
+      [
+        Model.System.copies (Ddlock_workload.Gentx.guard_ring 3) 2;
+        Ddlock_workload.Gentx.dining_philosophers 3;
+        Ddlock_workload.Gentx.zipf_system (Fixtures.rng 23) ~sites:2
+          ~entities:3 ~txns:2 ~theta:0.8;
+      ]
+  in
+  let n_sources = List.length sources in
+  let answered = Atomic.make 0 in
+  let failures = Mutex.create () in
+  let failed = ref [] in
+  let fail_with msg =
+    Mutex.lock failures;
+    failed := msg :: !failed;
+    Mutex.unlock failures
+  in
+  let client tid =
+    for i = 0 to 12 do
+      match (tid + i) mod 3 with
+      | 0 | 1 -> (
+          match
+            Client.analyze_ex ~socket (List.nth sources (i mod n_sources))
+          with
+          | Ok ((Client.Verdict _ | Client.Busy _ | Client.Timeout), meta) ->
+              Atomic.incr answered;
+              if meta.Client.req_id = None then
+                fail_with (Printf.sprintf "thread %d: reply without id" tid)
+          | Ok _ -> fail_with (Printf.sprintf "thread %d: bad reply kind" tid)
+          | Error e ->
+              fail_with
+                (Format.asprintf "thread %d: client error: %a" tid
+                   Client.pp_error e))
+      | _ -> (
+          match Client.ping ~socket with
+          | Ok Client.Pong -> Atomic.incr answered
+          | _ -> fail_with (Printf.sprintf "thread %d: ping failed" tid))
+    done
+  in
+  let threads = List.init 8 (fun tid -> Thread.create client tid) in
+  List.iter Thread.join threads;
+  (match !failed with
+  | [] -> ()
+  | msgs -> Alcotest.fail (String.concat "; " msgs));
+  check int_t "every concurrent request answered" 104 (Atomic.get answered);
+  (* The chosen slow request: a deliberate zero-deadline timeout — slow
+     requests are pinned, so the burst above cannot evict its tree. *)
+  let slow_id =
+    match
+      Client.analyze_ex ~socket ~deadline_ms:0
+        (source_of (Ddlock_workload.Gentx.dining_philosophers 6))
+    with
+    | Ok (Client.Timeout, { Client.req_id = Some id; _ }) -> id
+    | Ok _ -> Alcotest.fail "expected a timeout"
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e)
+  in
+  check bool_t "the slow request came after the battery" true (slow_id > 104);
+  (* Flight verb: the dump validates and still holds the slow request. *)
+  (match
+     eventually
+       (fun () -> Client.flight ~socket)
+       (function
+         | Ok body -> contains body (Printf.sprintf {|"id": %d|} slow_id)
+         | Error _ -> true)
+   with
+  | Ok body ->
+      (match Obs.Json.validate body with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("flight json invalid: " ^ e));
+      check bool_t "slow request in the flight ring" true
+        (contains body (Printf.sprintf {|"id": %d|} slow_id));
+      check bool_t "timeout outcome recorded" true
+        (contains body {|"outcome": "timeout"|})
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e));
+  (* Trace verb: the complete span tree, well-formed and tagged. *)
+  (match
+     eventually (fun () -> Server.trace_events t slow_id) Option.is_some
+   with
+  | Some evs ->
+      assert_span_tree ~relaxed:true ~req:slow_id evs;
+      let names = List.map (fun e -> e.Obs.Trace.name) evs in
+      List.iter
+        (fun phase ->
+          check bool_t (phase ^ " span retained") true (List.mem phase names))
+        [ "serve.request"; "serve.parse"; "serve.cache"; "serve.wait" ]
+  | None -> Alcotest.fail "slow request's span tree was evicted");
+  (match Client.trace ~socket slow_id with
+  | Ok json ->
+      (match Obs.Json.validate json with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("trace json invalid: " ^ e));
+      check bool_t "slow trace tagged" true
+        (contains json (Printf.sprintf {|"req":"%d"|} slow_id))
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Client.pp_error e));
+  (* No cross-request leakage: fresh sequential requests own disjoint,
+     individually well-formed trees. *)
+  List.iter
+    (fun source ->
+      match Client.analyze_ex ~socket source with
+      | Ok (Client.Verdict _, { Client.req_id = Some id; _ }) -> (
+          match
+            eventually (fun () -> Server.trace_events t id) Option.is_some
+          with
+          | Some evs -> assert_span_tree ~req:id evs
+          | None -> Alcotest.fail "fresh request's tree missing")
+      | _ -> Alcotest.fail "expected a verdict with a request id")
+    sources
+
 let suite =
   [
     Alcotest.test_case "protocol parse" `Quick test_protocol_parse;
@@ -504,4 +882,13 @@ let suite =
     Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
     Alcotest.test_case "double bind refused" `Quick test_double_bind_refused;
     Alcotest.test_case "chaos battery" `Quick test_chaos_battery;
+    Alcotest.test_case "observability verbs parse" `Quick
+      test_protocol_observability_verbs;
+    Alcotest.test_case "header extras" `Quick test_header_extras;
+    Alcotest.test_case "request meta" `Quick test_request_meta;
+    Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition;
+    Alcotest.test_case "flight recorder bounded" `Quick
+      test_flight_recorder_bounded;
+    Alcotest.test_case "trace span tree" `Quick test_trace_span_tree;
+    Alcotest.test_case "traced battery" `Quick test_traced_battery;
   ]
