@@ -15,7 +15,7 @@
    Run with:  dune exec bench/main.exe                 (everything)
               dune exec bench/main.exe -- SECTION...   (a subset)
    Sections: agreement micro theorem4 exhaustive sim crossover recovery
-             faults sm geometry rw par obs sym serve
+             faults sm geometry rw par obs sym serve matrix
 *)
 
 open Bechamel
@@ -1061,6 +1061,179 @@ let rw_modes () =
         (excl.Sim.Runtime.mean_makespan /. rwb.Rw.Rw_runtime.mean_makespan))
     [ 2; 4; 8; 16 ]
 
+(* ------------------------------------------------------------------ *)
+(* Scenario matrix: schemes x workload families x fault intensity      *)
+(* ------------------------------------------------------------------ *)
+
+let matrix () =
+  header "E27 scenario matrix: 5 schemes x 4 families x fault intensity";
+  (* Runs per (family, scheme, intensity) cell; DDLOCK_MATRIX_RUNS
+     shrinks it for the cram/CI smoke sweeps. *)
+  let runs =
+    match Sys.getenv_opt "DDLOCK_MATRIX_RUNS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | _ ->
+            Format.eprintf "bench: bad DDLOCK_MATRIX_RUNS %S@." s;
+            exit 2)
+    | None -> 30
+  in
+  let horizon = 40.0 in
+  let intensities = [ 0.0; 0.4; 0.8 ] in
+  (* A finite commit budget (vs the near-unbounded chaos default) so a
+     scheme that thrashes under faults shows up as commit-rate loss
+     rather than an ever-longer run. *)
+  let config =
+    { Sim.Recovery.default_config with Sim.Recovery.max_time = 240.0 }
+  in
+  let families =
+    [
+      ("ring", System.copies (Workload.Gentx.guard_ring 3) 2);
+      ("tpcc", Workload.Gentx.tpcc_system (rng 271) ~warehouses:2 ~txns:4 ~theta:1.2);
+      ( "partial-replication",
+        let rep =
+          Workload.Gentx.replicated_db ~sites:3 ~entities:4 ~replication:2
+        in
+        Workload.Gentx.replicated_system (rng 272) rep ~txns:3
+          ~entities_per_txn:2 );
+      ( "zipf-hotspot",
+        Workload.Gentx.zipf_system (rng 273) ~sites:2 ~entities:4 ~txns:4
+          ~theta:1.2 );
+    ]
+  in
+  let schemes = Sim.Chaos.default_schemes in
+  let violations_total = ref 0 in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"bench\": \"matrix\",\n  \"runs_per_cell\": %d,\n  \
+        \"horizon\": %.1f,\n  \"max_time\": %.1f,\n  \"schemes\": [%s],\n  \
+        \"intensities\": [%s],\n  \"families\": ["
+       runs horizon config.Sim.Recovery.max_time
+       (String.concat ", "
+          (List.map (fun (n, _) -> Printf.sprintf "\"%s\"" n) schemes))
+       (String.concat ", " (List.map (Printf.sprintf "%.1f") intensities)));
+  Format.printf "  %-20s %-14s %-10s %-8s %-8s %-8s %-8s@." "family" "scheme"
+    "intensity" "commit" "aborts" "p50" "p99";
+  List.iteri
+    (fun fi (fname, sys) ->
+      let n = System.size sys in
+      if fi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"family\": \"%s\", \"txns\": %d, \"cells\": ["
+           fname n);
+      let first_cell = ref true in
+      List.iteri
+        (fun si (sname, scheme) ->
+          List.iteri
+            (fun ii intensity ->
+              let commits = ref 0 and aborts = ref 0 and timeouts = ref 0 in
+              let total_makespan = ref 0.0 and completed = ref 0 in
+              let buckets =
+                Array.make (Obs.Metrics.Histogram.max_bucket + 1) 0
+              in
+              let sum_ms = ref 0 in
+              for seed = 0 to runs - 1 do
+                (* The fault plan is keyed by (family, intensity, seed)
+                   only, so all five schemes face the same plans
+                   head-to-head; the simulator rng is per-scheme. *)
+                let plan_rng = Random.State.make [| 0x3a7c; fi; ii; seed |] in
+                let plan =
+                  Sim.Faults.random plan_rng (System.db sys) ~intensity
+                    ~horizon
+                in
+                let sim_rng =
+                  Random.State.make [| 0x3a7d; fi; si; ii; seed |]
+                in
+                let r = Sim.Recovery.run ~scheme ~config ~faults:plan sim_rng sys in
+                commits := !commits + r.Sim.Recovery.stats.Sim.Recovery.commits;
+                aborts := !aborts + r.Sim.Recovery.stats.Sim.Recovery.aborts;
+                if r.Sim.Recovery.stats.Sim.Recovery.timed_out then
+                  incr timeouts
+                else begin
+                  incr completed;
+                  let mk = r.Sim.Recovery.stats.Sim.Recovery.makespan in
+                  total_makespan := !total_makespan +. mk;
+                  let ms = int_of_float (mk *. 1000.0) in
+                  sum_ms := !sum_ms + ms;
+                  buckets.(Obs.Metrics.Histogram.bucket_of ms) <-
+                    buckets.(Obs.Metrics.Histogram.bucket_of ms) + 1;
+                  (* Legality/mutex/serializability on every committed
+                     trace; timeouts are commit-rate data, not
+                     violations, under the finite budget. *)
+                  violations_total :=
+                    !violations_total
+                    + List.length (Sim.Chaos.check_run sys r)
+                end
+              done;
+              let offered = runs * n in
+              let commit_rate = float_of_int !commits /. float_of_int offered in
+              let abort_rate = float_of_int !aborts /. float_of_int offered in
+              let timeout_rate =
+                float_of_int !timeouts /. float_of_int runs
+              in
+              let mean_makespan =
+                if !completed = 0 then 0.0
+                else !total_makespan /. float_of_int !completed
+              in
+              let hist =
+                {
+                  Obs.Metrics.count = !completed;
+                  sum = !sum_ms;
+                  buckets =
+                    List.filter
+                      (fun (_, c) -> c > 0)
+                      (List.init (Array.length buckets) (fun i ->
+                           (i, buckets.(i))));
+                }
+              in
+              let p50 = Obs.Metrics.quantile hist 0.5 in
+              let p99 = Obs.Metrics.quantile hist 0.99 in
+              Format.printf "  %-20s %-14s %-10.1f %-8.2f %-8.2f %-8.0f %-8.0f@."
+                fname sname intensity commit_rate abort_rate p50 p99;
+              if not !first_cell then Buffer.add_char buf ',';
+              first_cell := false;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "\n      { \"scheme\": \"%s\", \"intensity\": %.1f, \
+                    \"runs\": %d, \"commit_rate\": %.4f, \"abort_rate\": \
+                    %.4f, \"timeout_rate\": %.4f, \"mean_makespan\": %.3f, \
+                    \"p50_ms\": %.1f, \"p99_ms\": %.1f, \"latency_ms\": [%s] }"
+                   sname intensity runs commit_rate abort_rate timeout_rate
+                   mean_makespan p50 p99
+                   (String.concat ", "
+                      (List.map
+                         (fun (i, c) ->
+                           Printf.sprintf
+                             "{ \"lo\": %d, \"count\": %d }"
+                             (Obs.Metrics.Histogram.bucket_lower i)
+                             c)
+                         hist.Obs.Metrics.buckets))))
+            intensities)
+        schemes;
+      Buffer.add_string buf "\n    ] }")
+    families;
+  Buffer.add_string buf
+    (Printf.sprintf "\n  ],\n  \"violations\": %d\n}\n" !violations_total);
+  let json = Buffer.contents buf in
+  (match Obs.Json.validate json with
+  | Ok () -> ()
+  | Error msg ->
+      Format.eprintf "bench: BENCH_matrix.json invalid: %s@." msg;
+      exit 1);
+  if !violations_total > 0 then begin
+    Format.eprintf "bench: %d invariant violations in the matrix sweep@."
+      !violations_total;
+    exit 1
+  end;
+  let oc = open_out "BENCH_matrix.json" in
+  output_string oc json;
+  close_out oc;
+  Format.printf
+    "  wrote BENCH_matrix.json (validated, %d cells, 0 violations)@."
+    (List.length families * List.length schemes * List.length intensities)
+
 let () =
   let sections =
     [
@@ -1080,6 +1253,7 @@ let () =
       ("sym", sym);
       ("por", por);
       ("serve", serve_bench);
+      ("matrix", matrix);
     ]
   in
   let requested =

@@ -294,26 +294,71 @@ let gen_cmd =
     Arg.(
       required
       & pos 0 (some (enum
-           [ ("philosophers", `Phil); ("ring", `Ring); ("random", `Random) ]))
+           [ ("philosophers", `Phil); ("ring", `Ring); ("random", `Random);
+             ("zipf", `Zipf); ("tpcc", `Tpcc); ("replicated", `Replicated) ]))
           None
-      & info [] ~docv:"KIND" ~doc:"philosophers | ring | random")
+      & info [] ~docv:"KIND"
+          ~doc:"philosophers | ring | random | zipf | tpcc | replicated")
   in
   let size_arg =
-    Arg.(value & opt int 3 & info [ "n" ] ~doc:"Size parameter (k).")
+    Arg.(value & opt int 3
+         & info [ "n" ] ~doc:"Size parameter (k / entities).")
   in
   let txns_arg =
-    Arg.(value & opt int 3 & info [ "txns" ] ~doc:"Transactions (random kind).")
+    Arg.(value & opt int 3
+         & info [ "txns" ] ~doc:"Transactions (random/zipf/tpcc/replicated).")
   in
   let copies_arg =
     Arg.(value & opt int 1 & info [ "copies" ]
          ~doc:"Emit this many copies of every generated transaction \
                (e.g. ring -n 4 --copies 2 is the paper's Fig. 2 shape).")
   in
-  let run kind n txns copies seed =
+  let theta_arg =
+    Arg.(value & opt float 1.2 & info [ "theta" ]
+         ~doc:"Zipf skew exponent (zipf/tpcc kinds); must be > 0.")
+  in
+  let warehouses_arg =
+    Arg.(value & opt int 2 & info [ "warehouses" ]
+         ~doc:"Warehouses (tpcc kind).")
+  in
+  let sites_arg =
+    Arg.(value & opt int 3 & info [ "sites" ] ~doc:"Sites (replicated kind).")
+  in
+  let replication_arg =
+    Arg.(value & opt int 2 & info [ "replication" ]
+         ~doc:"Replicas per logical entity (replicated kind); must be in \
+               [1, --sites].")
+  in
+  let run kind n txns copies seed theta warehouses sites replication =
     if copies < 1 then begin
       Format.eprintf "ddlock: --copies must be >= 1 (got %d)@." copies;
       exit 2
     end;
+    if txns < 1 then begin
+      Format.eprintf "ddlock: --txns must be >= 1 (got %d)@." txns;
+      exit 2
+    end;
+    if n < 1 then begin
+      Format.eprintf "ddlock: -n must be >= 1 (got %d)@." n;
+      exit 2
+    end;
+    (match kind with
+    | `Zipf | `Tpcc when theta <= 0.0 ->
+        Format.eprintf "ddlock: --theta must be > 0 (got %g)@." theta;
+        exit 2
+    | `Tpcc when warehouses < 1 ->
+        Format.eprintf "ddlock: --warehouses must be >= 1 (got %d)@." warehouses;
+        exit 2
+    | `Replicated when sites < 1 ->
+        Format.eprintf "ddlock: --sites must be >= 1 (got %d)@." sites;
+        exit 2
+    | `Replicated when replication < 1 || replication > sites ->
+        Format.eprintf
+          "ddlock: --replication must be in [1, --sites] (got %d with %d \
+           sites)@."
+          replication sites;
+        exit 2
+    | _ -> ());
     let named sys =
       List.mapi
         (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
@@ -335,6 +380,27 @@ let gen_cmd =
               ~density:0.3
           in
           (db, named sys)
+      | `Zipf ->
+          let st = Random.State.make [| seed |] in
+          let sys =
+            Workload.Gentx.zipf_system st ~sites:(max 1 (n / 2)) ~entities:n
+              ~txns ~theta
+          in
+          (System.db sys, named sys)
+      | `Tpcc ->
+          let st = Random.State.make [| seed |] in
+          let sys = Workload.Gentx.tpcc_system st ~warehouses ~txns ~theta in
+          (System.db sys, named sys)
+      | `Replicated ->
+          let st = Random.State.make [| seed |] in
+          let rep =
+            Workload.Gentx.replicated_db ~sites ~entities:n ~replication
+          in
+          let sys =
+            Workload.Gentx.replicated_system st rep ~txns
+              ~entities_per_txn:(min 2 n)
+          in
+          (System.db sys, named sys)
     in
     let pairs =
       if copies = 1 then pairs
@@ -350,7 +416,9 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a system file on stdout.")
-    Term.(const run $ kind_arg $ size_arg $ txns_arg $ copies_arg $ seed_arg)
+    Term.(
+      const run $ kind_arg $ size_arg $ txns_arg $ copies_arg $ seed_arg
+      $ theta_arg $ warehouses_arg $ sites_arg $ replication_arg)
 
 (* ----------------------------- sat-reduce -------------------------- *)
 

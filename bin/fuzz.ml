@@ -18,6 +18,10 @@
    - chaos invariants: a random fault plan (site crashes, message
      loss/duplication, manager stalls) over wound-wait and the timeout
      scheme never breaks the committed-trace invariants of Sim.Chaos;
+   - scenario-matrix shapes: small TPC-C-style and partial-replication
+     systems (Workload.Gentx.tpcc_system / replicated_system) get the
+     Theorem-4-vs-exhaustive cross-check and the chaos invariants under
+     wound-wait and the probabilistic scheme every round;
    - rw invariants: exclusive-abstraction deadlock-freedom implies rw
      deadlock-freedom (2 transactions);
    - with [--jobs n], n > 1: the deterministic parallel engine
@@ -184,6 +188,66 @@ let () =
         ("wound-wait", Sim.Recovery.Wound_wait);
         ("timeout", Sim.Recovery.default_timeout);
       ];
+    (* --- scenario-matrix shapes: TPC-C and partial replication --- *)
+    let tpcc_sys =
+      Workload.Gentx.tpcc_system st
+        ~warehouses:(1 + Random.State.int st 2)
+        ~districts:2 ~items:3 ~customers:2
+        ~items_per_order:(1 + Random.State.int st 2)
+        ~txns:(2 + Random.State.int st 2)
+        ~theta:(Random.State.float st 1.5)
+    in
+    let rep =
+      Workload.Gentx.replicated_db
+        ~sites:(2 + Random.State.int st 2)
+        ~entities:(2 + Random.State.int st 2)
+        ~replication:2
+    in
+    let rep_sys =
+      Workload.Gentx.replicated_system st rep
+        ~txns:(2 + Random.State.int st 2)
+        ~entities_per_txn:(1 + Random.State.int st 2)
+    in
+    List.iter
+      (fun (shape, ssys) ->
+        (* 2PL chains keep the state spaces tiny, so the Theorem-4
+           polynomial verdict is cross-checked exhaustively too. *)
+        if
+          Safety.Many.safe_and_deadlock_free ssys
+          <> timed "seq" (fun () ->
+                 Result.is_ok (Sched.Explore.safe_and_deadlock_free ssys))
+        then report ("Theorem 4 (" ^ shape ^ ")") round;
+        let splan =
+          Sim.Faults.random st (System.db ssys)
+            ~intensity:(Random.State.float st 0.8)
+            ~horizon:30.0
+        in
+        List.iter
+          (fun (sname, scheme) ->
+            match Sim.Chaos.run_case ~scheme ~faults:splan st ssys with
+            | [], _ -> ()
+            | vs, r ->
+                List.iter
+                  (fun v ->
+                    Format.printf "  %s: %a@." sname
+                      (Sim.Chaos.pp_violation (System.db ssys))
+                      v)
+                  vs;
+                List.iter
+                  (fun (w, _, h) ->
+                    Format.printf "  stuck: T%d waits on T%d@." (w + 1) (h + 1))
+                  r.Sim.Recovery.stuck_waits;
+                print_string
+                  (Model.Parser.to_source (System.db ssys)
+                     (List.mapi
+                        (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
+                        (Array.to_list (System.txns ssys))));
+                report (Printf.sprintf "chaos/%s/%s" shape sname) round)
+          [
+            ("wound-wait", Sim.Recovery.Wound_wait);
+            ("probabilistic", Sim.Recovery.Probabilistic);
+          ])
+      [ ("tpcc", tpcc_sys); ("replicated", rep_sys) ];
     (* --- parallel engine vs sequential ground truth --- *)
     if !jobs > 1 then begin
       timed "par" @@ fun () ->

@@ -100,6 +100,28 @@ let default_cases () =
           (Random.State.make [| 0x21bf |])
           ~sites:2 ~entities:4 ~txns:4 ~theta:1.2;
     };
+    {
+      (* TPC-C-style mix: new-orders and payments colliding on the hot
+         warehouse/district rows, with cross-warehouse stock access. *)
+      label = "tpcc2w";
+      system =
+        Ddlock_workload.Gentx.tpcc_system
+          (Random.State.make [| 0x7cc0 |])
+          ~warehouses:2 ~txns:4 ~theta:1.2;
+    };
+    {
+      (* Partial replication: ROWA writes spanning overlapping replica
+         subsets on 3 sites — cross-site lock chains by construction. *)
+      label = "partrep3s";
+      system =
+        (let rep =
+           Ddlock_workload.Gentx.replicated_db ~sites:3 ~entities:4
+             ~replication:2
+         in
+         Ddlock_workload.Gentx.replicated_system
+           (Random.State.make [| 0x9e9b |])
+           rep ~txns:3 ~entities_per_txn:2);
+    };
   ]
 
 let default_schemes =

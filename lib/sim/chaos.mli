@@ -56,10 +56,13 @@ type case = { label : string; system : System.t }
 
 (** The default chaos menagerie: a 2PL workload that reliably deadlocks
     (dining philosophers), a non-two-phase deadlocking workload (copies
-    of a guard ring), and a certified safe∧DF ordered-2PL workload. *)
+    of a guard ring), a certified safe∧DF ordered-2PL workload, a
+    zipfian hotspot, a TPC-C-style new-order/payment mix
+    ({!Ddlock_workload.Gentx.tpcc_system}) and a partial-replication
+    ROWA workload ({!Ddlock_workload.Gentx.replicated_system}). *)
 val default_cases : unit -> case list
 
-(** All four recovery schemes with default parameters. *)
+(** All five recovery schemes with default parameters. *)
 val default_schemes : (string * Recovery.scheme) list
 
 type report = {

@@ -257,12 +257,16 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
           abort holder;
           let l = locks.(entity_of step) in
           (* abort released the entity (holder was [holder]); it may have
-             been re-granted to a queued waiter — if so, wait instead. *)
+             been re-granted to a queued waiter — re-apply the rule
+             against the new holder.  Queueing unconditionally here would
+             let an older transaction wait behind a younger one (a
+             descending wait arc), and one such arc is enough to close a
+             wait-for cycle that the scheme exists to preclude. *)
           match l.holder with
           | None ->
               l.holder <- Some r;
               push_grant step inc (entity_of step)
-          | Some _ -> Queue.push (step, inc, since) l.waiters
+          | Some h' -> on_lock_conflict step inc ~since h'
         end
         else Queue.push (step, inc, since) locks.(entity_of step).waiters
     | Probabilistic ->
@@ -275,11 +279,15 @@ let run ~scheme ?(config = default_config) ?(faults = Faults.none) rng sys =
         if beats r holder then begin
           abort holder;
           let l = locks.(entity_of step) in
+          (* Same re-application as wound-wait above: the entity may have
+             been re-granted to a queued waiter that [r] also beats, and
+             waiting behind it would be a descending arc — the cycle
+             seed.  (Found by the partial-replication chaos fuzz.) *)
           match l.holder with
           | None ->
               l.holder <- Some r;
               push_grant step inc (entity_of step)
-          | Some _ -> Queue.push (step, inc, since) l.waiters
+          | Some h' -> on_lock_conflict step inc ~since h'
         end
         else Queue.push (step, inc, since) locks.(entity_of step).waiters
   in

@@ -104,6 +104,21 @@ let zipf_entity_subset rng ~cumulative ~k =
   done;
   List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) chosen [])
 
+let zipf_cumulative ~n ~theta =
+  let weights =
+    Array.init n (fun r -> (1.0 /. float_of_int (r + 1)) ** theta)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.0;
+  cumulative
+
 let zipf_system ?(entities_per_txn = 2) ?(density = 0.3) rng ~sites ~entities
     ~txns ~theta =
   if theta < 0.0 then invalid_arg "Gentx.zipf_system: theta < 0";
@@ -112,18 +127,7 @@ let zipf_system ?(entities_per_txn = 2) ?(density = 0.3) rng ~sites ~entities
   if entities_per_txn > entities then
     invalid_arg "Gentx.zipf_system: entities_per_txn > entities";
   let db = random_db ~sites ~entities in
-  let weights =
-    Array.init entities (fun r -> (1.0 /. float_of_int (r + 1)) ** theta)
-  in
-  let total = Array.fold_left ( +. ) 0.0 weights in
-  let cumulative = Array.make entities 0.0 in
-  let acc = ref 0.0 in
-  Array.iteri
-    (fun i w ->
-      acc := !acc +. (w /. total);
-      cumulative.(i) <- !acc)
-    weights;
-  cumulative.(entities - 1) <- 1.0;
+  let cumulative = zipf_cumulative ~n:entities ~theta in
   System.create
     (List.init txns (fun _ ->
          random_transaction rng db
@@ -215,3 +219,164 @@ let chain_pair n =
 let opposed_chain_pair n =
   let db = chain_db n in
   opposed_pair db (List.init n (fun i -> "e" ^ string_of_int i))
+
+(* ------------------------------------------------------------------ *)
+(* TPC-C-style workloads *)
+
+type tpcc = {
+  tpcc_db : Db.t;
+  warehouses : int;
+  districts : int;
+  items : int;
+  customers : int;
+}
+
+let tpcc_db ~warehouses ~districts ~items ~customers =
+  if warehouses < 1 then invalid_arg "Gentx.tpcc_db: warehouses < 1";
+  if districts < 1 then invalid_arg "Gentx.tpcc_db: districts < 1";
+  if items < 1 then invalid_arg "Gentx.tpcc_db: items < 1";
+  if customers < 1 then invalid_arg "Gentx.tpcc_db: customers < 1";
+  let specs =
+    List.init warehouses (fun w ->
+        let w = w + 1 in
+        let wh = Printf.sprintf "w%d" w in
+        let names =
+          (wh
+          :: List.init districts (fun d -> Printf.sprintf "%s.d%d" wh (d + 1)))
+          @ List.init items (fun i -> Printf.sprintf "%s.s%d" wh (i + 1))
+          @ List.init customers (fun c -> Printf.sprintf "%s.c%d" wh (c + 1))
+        in
+        (Printf.sprintf "wh%d" w, names))
+  in
+  { tpcc_db = Db.create specs; warehouses; districts; items; customers }
+
+(* Rank 1 is the hottest warehouse/district/item throughout: all three
+   draw spaces share the zipf exponent, so theta = 0. is uniform TPC-C
+   and larger theta concentrates the load on w1/w1.d1 — the hot-row
+   regime the recovery schemes must survive. *)
+let tpcc_remote rng t ~remote_prob w =
+  if t.warehouses > 1 && Random.State.float rng 1.0 < remote_prob then begin
+    let r = 1 + Random.State.int rng (t.warehouses - 1) in
+    if r >= w then r + 1 else r
+  end
+  else w
+
+let tpcc_new_order ?(items_per_order = 2) ?(remote_prob = 0.1) rng t ~theta =
+  if items_per_order < 1 || items_per_order > t.items then
+    invalid_arg "Gentx.tpcc_new_order: items_per_order not in [1, items]";
+  if theta < 0.0 then invalid_arg "Gentx.tpcc_new_order: theta < 0";
+  let w = 1 + zipf_pick rng (zipf_cumulative ~n:t.warehouses ~theta) in
+  let d = 1 + zipf_pick rng (zipf_cumulative ~n:t.districts ~theta) in
+  let icum = zipf_cumulative ~n:t.items ~theta in
+  let item_ids = zipf_entity_subset rng ~cumulative:icum ~k:items_per_order in
+  (* Distinct item ids keep the stock names distinct even when some rows
+     resolve to a remote warehouse (TPC-C's ~1% remote stock). *)
+  let stock =
+    List.map
+      (fun i ->
+        Printf.sprintf "w%d.s%d" (tpcc_remote rng t ~remote_prob w) (i + 1))
+      item_ids
+  in
+  Builder.two_phase_chain t.tpcc_db
+    ((Printf.sprintf "w%d" w) :: stock @ [ Printf.sprintf "w%d.d%d" w d ])
+
+let tpcc_payment ?(remote_prob = 0.15) rng t ~theta =
+  if theta < 0.0 then invalid_arg "Gentx.tpcc_payment: theta < 0";
+  let w = 1 + zipf_pick rng (zipf_cumulative ~n:t.warehouses ~theta) in
+  let d = 1 + zipf_pick rng (zipf_cumulative ~n:t.districts ~theta) in
+  let c = 1 + zipf_pick rng (zipf_cumulative ~n:t.customers ~theta) in
+  let cw = tpcc_remote rng t ~remote_prob w in
+  Builder.two_phase_chain t.tpcc_db
+    [
+      Printf.sprintf "w%d" w;
+      Printf.sprintf "w%d.d%d" w d;
+      Printf.sprintf "w%d.c%d" cw c;
+    ]
+
+let tpcc_system ?(districts = 2) ?(items = 4) ?(customers = 2)
+    ?(items_per_order = 2) ?(new_order_frac = 0.5) ?(remote_prob = 0.1) rng
+    ~warehouses ~txns ~theta =
+  if txns < 1 then invalid_arg "Gentx.tpcc_system: txns < 1";
+  if theta < 0.0 then invalid_arg "Gentx.tpcc_system: theta < 0";
+  if new_order_frac < 0.0 || new_order_frac > 1.0 then
+    invalid_arg "Gentx.tpcc_system: new_order_frac not in [0, 1]";
+  if remote_prob < 0.0 || remote_prob > 1.0 then
+    invalid_arg "Gentx.tpcc_system: remote_prob not in [0, 1]";
+  let t = tpcc_db ~warehouses ~districts ~items ~customers in
+  System.create
+    (List.init txns (fun _ ->
+         if Random.State.float rng 1.0 < new_order_frac then
+           tpcc_new_order ~items_per_order ~remote_prob rng t ~theta
+         else tpcc_payment ~remote_prob rng t ~theta))
+
+(* ------------------------------------------------------------------ *)
+(* Partial replication (Sutra & Shapiro, arXiv:0802.0137) *)
+
+type replicated = {
+  rep_db : Db.t;
+  logical : int;
+  replication : int;
+  replicas : Db.entity list array;
+}
+
+let replica_name i s = Printf.sprintf "x%d.s%d" i s
+
+let replicated_db ~sites ~entities ~replication =
+  if sites < 1 then invalid_arg "Gentx.replicated_db: sites < 1";
+  if entities < 1 then invalid_arg "Gentx.replicated_db: entities < 1";
+  if replication < 1 || replication > sites then
+    invalid_arg "Gentx.replicated_db: replication not in [1, sites]";
+  (* Logical entity i is hosted on the [replication] consecutive sites
+     starting at i mod sites — deterministic overlapping subsets, every
+     adjacent site pair shares entities, so cross-site transactions are
+     the norm rather than the exception. *)
+  let hosts i = List.init replication (fun j -> (i + j) mod sites) in
+  let specs =
+    List.init sites (fun s ->
+        ( "s" ^ string_of_int s,
+          List.filter_map
+            (fun i -> if List.mem s (hosts i) then Some (replica_name i s) else None)
+            (List.init entities Fun.id) ))
+  in
+  let db = Db.create specs in
+  let replicas =
+    Array.init entities (fun i ->
+        List.map (fun s -> Db.find_entity_exn db (replica_name i s)) (hosts i))
+  in
+  { rep_db = db; logical = entities; replication; replicas }
+
+let logical_of rep e =
+  let rec find i =
+    if i >= rep.logical then None
+    else if List.mem e rep.replicas.(i) then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let replicated_transaction ?(write_prob = 0.6) rng rep ~entities_per_txn =
+  if entities_per_txn < 1 || entities_per_txn > rep.logical then
+    invalid_arg
+      "Gentx.replicated_transaction: entities_per_txn not in [1, entities]";
+  if write_prob < 0.0 || write_prob > 1.0 then
+    invalid_arg "Gentx.replicated_transaction: write_prob not in [0, 1]";
+  let order = Array.init rep.logical Fun.id in
+  shuffle rng order;
+  let chosen = Array.to_list (Array.sub order 0 entities_per_txn) in
+  (* ROWA: a write locks every replica of the logical entity (in the
+     canonical ascending-site order); a read locks one random replica. *)
+  let physical =
+    List.concat_map
+      (fun l ->
+        let reps = rep.replicas.(l) in
+        if Random.State.float rng 1.0 < write_prob then reps
+        else [ List.nth reps (Random.State.int rng (List.length reps)) ])
+      chosen
+  in
+  Builder.two_phase_chain rep.rep_db
+    (List.map (Db.entity_name rep.rep_db) physical)
+
+let replicated_system ?write_prob rng rep ~txns ~entities_per_txn =
+  if txns < 1 then invalid_arg "Gentx.replicated_system: txns < 1";
+  System.create
+    (List.init txns (fun _ ->
+         replicated_transaction ?write_prob rng rep ~entities_per_txn))

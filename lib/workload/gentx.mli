@@ -117,3 +117,116 @@ val chain_pair : int -> Transaction.t * Transaction.t
 
 (** [opposed_chain_pair n] — the failing variant. *)
 val opposed_chain_pair : int -> Transaction.t * Transaction.t
+
+(** {1 TPC-C-style workloads}
+
+    A warehouse-sharded schema in the TPC-C mould: site [wh{w}] hosts
+    the warehouse row [w{w}], its districts [w{w}.d{j}], stock rows
+    [w{w}.s{k}] and customers [w{w}.c{m}].  Transactions are 2PL chains
+    ({!Builder.two_phase_chain}), so every generated transaction is
+    two-phase and site-total-ordered by construction; contention comes
+    from the zipf-skewed warehouse/district/item choices and the
+    cross-warehouse ("remote") accesses. *)
+
+type tpcc = {
+  tpcc_db : Db.t;
+  warehouses : int;
+  districts : int;  (** per warehouse *)
+  items : int;  (** stock rows per warehouse *)
+  customers : int;  (** per warehouse *)
+}
+
+(** [tpcc_db ~warehouses ~districts ~items ~customers] — the sharded
+    schema above.  Raises [Invalid_argument] when any count is [< 1]. *)
+val tpcc_db :
+  warehouses:int -> districts:int -> items:int -> customers:int -> tpcc
+
+(** [tpcc_new_order rng t ~theta] — a new-order shape: read the home
+    warehouse row, touch [items_per_order] (default 2) {e distinct}
+    zipf(θ)-hot stock rows (each resolved to a remote warehouse with
+    probability [remote_prob], default 0.1 — the cross-site case), then
+    write the hot district row last.  Warehouse and district are also
+    zipf(θ)-skewed, so rank-1 rows are the hotspots. *)
+val tpcc_new_order :
+  ?items_per_order:int ->
+  ?remote_prob:float ->
+  Random.State.t ->
+  tpcc ->
+  theta:float ->
+  Transaction.t
+
+(** [tpcc_payment rng t ~theta] — a payment shape: warehouse row,
+    district row, then a customer row (remote with probability
+    [remote_prob], default 0.15, per the TPC-C spec). *)
+val tpcc_payment :
+  ?remote_prob:float -> Random.State.t -> tpcc -> theta:float -> Transaction.t
+
+(** [tpcc_system rng ~warehouses ~txns ~theta] — a mixed workload of
+    [txns] transactions, each a new-order with probability
+    [new_order_frac] (default 0.5) and a payment otherwise, over a fresh
+    {!tpcc_db} (defaults: 2 districts, 4 stock rows, 2 customers per
+    warehouse).  Raises [Invalid_argument] on [txns < 1], [theta < 0.],
+    or probabilities outside [0, 1]. *)
+val tpcc_system :
+  ?districts:int ->
+  ?items:int ->
+  ?customers:int ->
+  ?items_per_order:int ->
+  ?new_order_frac:float ->
+  ?remote_prob:float ->
+  Random.State.t ->
+  warehouses:int ->
+  txns:int ->
+  theta:float ->
+  System.t
+
+(** {1 Partial replication (Sutra & Shapiro, arXiv:0802.0137)}
+
+    The model layer places each entity on exactly one site, so partial
+    replication is expressed one level up: each {e logical} entity [i]
+    is materialized as [replication] physical replica entities
+    [x{i}.s{j}], one per hosting site, with hosting sets that overlap
+    between neighbouring sites.  Transactions follow the
+    read-one/write-all (ROWA) discipline over the replica sets. *)
+
+type replicated = {
+  rep_db : Db.t;
+  logical : int;  (** number of logical entities *)
+  replication : int;  (** replicas per logical entity *)
+  replicas : Db.entity list array;
+      (** physical replicas of logical entity [i], ascending site order *)
+}
+
+(** [replicated_db ~sites ~entities ~replication] — logical entity [i]
+    is replicated on the [replication] consecutive sites starting at
+    [i mod sites], so adjacent sites hold overlapping entity subsets.
+    Raises [Invalid_argument] unless [1 <= replication <= sites] and
+    [sites, entities >= 1]. *)
+val replicated_db : sites:int -> entities:int -> replication:int -> replicated
+
+(** [logical_of rep e] — the logical entity a physical replica belongs
+    to, or [None] for an unknown entity. *)
+val logical_of : replicated -> Db.entity -> int option
+
+(** [replicated_transaction rng rep ~entities_per_txn] — a 2PL chain
+    over [entities_per_txn] distinct logical entities: each is a write
+    with probability [write_prob] (default 0.6, locking {e all} its
+    replicas — ROWA) and otherwise a read (locking one random replica).
+    Cross-site by construction whenever a write's replica set spans
+    sites. *)
+val replicated_transaction :
+  ?write_prob:float ->
+  Random.State.t ->
+  replicated ->
+  entities_per_txn:int ->
+  Transaction.t
+
+(** [replicated_system rng rep ~txns ~entities_per_txn] — [txns]
+    independent {!replicated_transaction}s. *)
+val replicated_system :
+  ?write_prob:float ->
+  Random.State.t ->
+  replicated ->
+  txns:int ->
+  entities_per_txn:int ->
+  System.t

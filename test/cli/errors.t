@@ -19,3 +19,29 @@ So is a file that does not parse:
   $ ../../bin/ddlock_cli.exe validate garbage.txn
   garbage.txn: line 1: no site declarations
   [2]
+
+Invalid generator parameters are one-line errors too, not tracebacks:
+
+  $ ../../bin/ddlock_cli.exe gen ring --copies 0
+  ddlock: --copies must be >= 1 (got 0)
+  [2]
+
+  $ ../../bin/ddlock_cli.exe gen random --txns 0
+  ddlock: --txns must be >= 1 (got 0)
+  [2]
+
+  $ ../../bin/ddlock_cli.exe gen zipf --theta 0
+  ddlock: --theta must be > 0 (got 0)
+  [2]
+
+  $ ../../bin/ddlock_cli.exe gen tpcc --theta=-1.5
+  ddlock: --theta must be > 0 (got -1.5)
+  [2]
+
+  $ ../../bin/ddlock_cli.exe gen replicated --sites 2 --replication 3
+  ddlock: --replication must be in [1, --sites] (got 3 with 2 sites)
+  [2]
+
+  $ ../../bin/ddlock_cli.exe gen replicated -n 0
+  ddlock: -n must be >= 1 (got 0)
+  [2]

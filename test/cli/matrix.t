@@ -1,0 +1,53 @@
+Each scenario-matrix workload shape generates, validates, analyzes, and
+survives a chaos sweep from the command line.
+
+TPC-C-style mix (new-order/payment over warehouse-sharded sites) — 2PL
+chains, so the certified verdict is safe and deadlock-free whenever the
+interaction graph is acyclic:
+
+  $ ../../bin/ddlock_cli.exe gen tpcc --txns 3 --seed 7 > tpcc.txn
+  $ ../../bin/ddlock_cli.exe validate tpcc.txn
+  tpcc.txn: OK (2 sites, 18 entities, 3 transactions)
+  $ ../../bin/ddlock_cli.exe analyze tpcc.txn
+  transactions:        3
+  entities:            18
+  sites:               2
+  lock/unlock nodes:   20
+  all two-phase:       true
+  interaction edges:   1
+  interaction cycles:  0
+  safety ∧ DF:         safe and deadlock-free
+  deadlock-freedom:    deadlock-free
+  $ ../../bin/ddlock_cli.exe chaos tpcc.txn --runs 10
+  60 runs: 60 clean, 0 invariant violations, 42 aborts (max 3 per txn), mean makespan 27.53
+
+Partial replication (ROWA writes over overlapping replica subsets) —
+opposed replica chains can deadlock, which analyze reports with a
+witness schedule:
+
+  $ ../../bin/ddlock_cli.exe gen replicated -n 4 --txns 3 --seed 9 > rep.txn
+  $ ../../bin/ddlock_cli.exe validate rep.txn
+  rep.txn: OK (3 sites, 8 entities, 3 transactions)
+  $ ../../bin/ddlock_cli.exe analyze rep.txn | head -5
+  transactions:        3
+  entities:            8
+  sites:               3
+  lock/unlock nodes:   16
+  all two-phase:       true
+  $ ../../bin/ddlock_cli.exe chaos rep.txn --runs 10
+  60 runs: 60 clean, 0 invariant violations, 88 aborts (max 3 per txn), mean makespan 34.22
+
+Zipfian hotspot:
+
+  $ ../../bin/ddlock_cli.exe gen zipf -n 5 --txns 3 --theta 1.5 --seed 3 > zipf.txn
+  $ ../../bin/ddlock_cli.exe validate zipf.txn
+  zipf.txn: OK (2 sites, 5 entities, 3 transactions)
+
+The bench matrix smoke sweep: 5 schemes x 4 families x 3 intensities,
+self-validated JSON (Obs.Json.validate) and zero invariant violations:
+
+  $ DDLOCK_MATRIX_RUNS=2 ../../bench/main.exe matrix | grep BENCH_matrix
+    wrote BENCH_matrix.json (validated, 60 cells, 0 violations)
+
+  $ python3 -c "import json; d = json.load(open('BENCH_matrix.json')); print(len(d['families']), len(d['schemes']), len(d['intensities']), d['violations'])"
+  4 5 3 0

@@ -11,7 +11,7 @@ let int_t = Alcotest.int
 (* ------------------------------------------------------------------ *)
 
 let test_chaos_sweep () =
-  (* 3 cases x (4 schemes + 1 runtime probe) x 67 seeds = 1005 runs. *)
+  (* 6 cases x (5 schemes + 1 runtime probe) x 67 seeds = 2412 runs. *)
   let r =
     Chaos.sweep ~seeds:67 ~schemes:Chaos.default_schemes
       ~cases:(Chaos.default_cases ()) 0xc4a05

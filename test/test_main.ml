@@ -12,6 +12,7 @@ let () =
       ("safety", Test_safety.suite);
       ("conp", Test_conp.suite);
       ("sim", Test_sim.suite);
+      ("workload", Test_workload.suite);
       ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("policy", Test_policy.suite);

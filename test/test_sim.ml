@@ -306,6 +306,87 @@ let recovery_always_commits_prop =
           && Schedule.is_complete sys r.Recovery.committed_trace)
         schemes)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario-matrix chaos: seeded metamorphic sweep over the TPC-C and  *)
+(* partial-replication scenarios across all five schemes               *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_scenarios () =
+  [
+    {
+      Chaos.label = "tpcc";
+      system =
+        Ddlock_workload.Gentx.tpcc_system
+          (Fixtures.rng 0x7cc1)
+          ~warehouses:2 ~txns:4 ~theta:1.2;
+    };
+    {
+      Chaos.label = "partial-replication";
+      system =
+        (let rep =
+           Ddlock_workload.Gentx.replicated_db ~sites:3 ~entities:4
+             ~replication:2
+         in
+         Ddlock_workload.Gentx.replicated_system
+           (Fixtures.rng 0x9e9c)
+           rep ~txns:3 ~entities_per_txn:2);
+    };
+  ]
+
+let test_matrix_scenarios_chaos_clean () =
+  (* 2 scenarios x (5 schemes + 1 runtime probe) x 40 seeds, full fault
+     intensity envelope: liveness, legality, mutual exclusion and
+     serializability must survive every plan. *)
+  let r =
+    Chaos.sweep ~seeds:40 ~schemes:Chaos.default_schemes
+      ~cases:(matrix_scenarios ()) 0x3a70
+  in
+  check int_t "runs" (2 * 6 * 40) r.Chaos.runs;
+  List.iter
+    (fun (seed, where, _) ->
+      Alcotest.failf "matrix chaos violation in %s at seed %d" where seed)
+    r.Chaos.violations;
+  check int_t "all clean" r.Chaos.runs r.Chaos.clean_runs;
+  (* Metamorphic: the sweep is a pure function of the base seed. *)
+  let r' =
+    Chaos.sweep ~seeds:40 ~schemes:Chaos.default_schemes
+      ~cases:(matrix_scenarios ()) 0x3a70
+  in
+  check int_t "reproducible aborts" r.Chaos.total_aborts r'.Chaos.total_aborts;
+  check (Alcotest.float 1e-9) "reproducible makespan" r.Chaos.mean_makespan
+    r'.Chaos.mean_makespan
+
+let matrix_zero_intensity_prop =
+  (* Metamorphic: a random fault plan at intensity 0 is the empty plan —
+     every scheme's run on the new scenarios is bit-identical to the
+     fault-free run from the same simulator seed. *)
+  QCheck.Test.make
+    ~name:"matrix scenarios: intensity-0 plans behave like no faults"
+    ~count:30
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      List.for_all
+        (fun { Chaos.system = sys; _ } ->
+          let plan =
+            Faults.random (Fixtures.rng seed) (System.db sys) ~intensity:0.0
+              ~horizon:40.0
+          in
+          List.for_all
+            (fun (_, scheme) ->
+              let faulted =
+                Recovery.run ~scheme ~faults:plan (Fixtures.rng (seed + 1)) sys
+              in
+              let plain =
+                Recovery.run ~scheme ~faults:Faults.none
+                  (Fixtures.rng (seed + 1))
+                  sys
+              in
+              faulted.Recovery.stats = plain.Recovery.stats
+              && faulted.Recovery.committed_trace
+                 = plain.Recovery.committed_trace)
+            Chaos.default_schemes)
+        (matrix_scenarios ()))
+
 let qtests =
   List.map Fixtures.to_alcotest
     [
@@ -314,6 +395,7 @@ let qtests =
       trace_legal_prop;
       recovery_always_commits_prop;
       zipf_well_formed_prop;
+      matrix_zero_intensity_prop;
     ]
 
 let suite =
@@ -338,5 +420,7 @@ let suite =
       test_probabilistic_bounded_starvation;
     Alcotest.test_case "zipf skews hot entities" `Quick
       test_zipf_skews_hot_entities;
+    Alcotest.test_case "matrix scenarios survive chaos sweep" `Quick
+      test_matrix_scenarios_chaos_clean;
   ]
   @ qtests

@@ -1,0 +1,301 @@
+(* Workload generator battery: well-formedness, seed-determinism, skew
+   and replication-coverage properties of the scenario-matrix generators
+   (Gentx.tpcc_... and Gentx.replicated_...), plus the zipf hotspot
+   generator's determinism.
+
+   "Well-formed" here leans on the model layer: every generator builds
+   via Transaction.make_exn / Builder.two_phase_chain, so an invalid
+   site order or duplicate access would raise at construction.  The
+   properties below check the *advertised workload shape* on top: site
+   locality of every lock request, ROWA replica grouping, zipf/TPC-C
+   skew bounds, and byte-level reproducibility from the seed. *)
+
+open Ddlock_model
+module Gentx = Ddlock_workload.Gentx
+
+let bool_t = Alcotest.bool
+let check = Alcotest.check
+
+(* Render a system to its concrete source text: equal strings are the
+   strongest determinism witness we have (schema and all arc sets). *)
+let source_of sys =
+  Parser.to_source (System.db sys)
+    (List.mapi
+       (fun i t -> (Printf.sprintf "T%d" (i + 1), t))
+       (Array.to_list (System.txns sys)))
+
+let tpcc_of_seed seed =
+  let st = Fixtures.rng seed in
+  let warehouses = 1 + Random.State.int st 3 in
+  let txns = 1 + Random.State.int st 5 in
+  let theta = Random.State.float st 2.0 in
+  ( warehouses,
+    txns,
+    Gentx.tpcc_system (Fixtures.rng (seed + 1)) ~warehouses ~txns ~theta )
+
+(* 1. TPC-C well-formedness: the advertised schema shape, every
+   transaction a two-phase total order, every entity on the site of the
+   warehouse its name says it belongs to. *)
+let tpcc_well_formed_prop =
+  QCheck.Test.make ~name:"tpcc_system: warehouse-sharded, two-phase"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let warehouses, txns, sys = tpcc_of_seed seed in
+      let db = System.db sys in
+      (* defaults: 2 districts + 4 stock + 2 customers + the warehouse row *)
+      System.size sys = txns
+      && Db.site_count db = warehouses
+      && Db.entity_count db = warehouses * 9
+      && Array.for_all Transaction.is_two_phase (System.txns sys)
+      && List.for_all
+           (fun e ->
+             (* w3.d1 lives on site wh3: the prefix before '.' names it *)
+             let name = Db.entity_name db e in
+             let w =
+               match String.index_opt name '.' with
+               | Some i -> String.sub name 1 (i - 1)
+               | None -> String.sub name 1 (String.length name - 1)
+             in
+             Db.site_name db (Db.site_of db e) = "wh" ^ w)
+           (List.init (Db.entity_count db) Fun.id))
+
+(* 2. Every lock request names an entity of the home-warehouse site
+   unless it is a remote stock/customer access; with remote_prob = 0
+   every transaction is single-site. *)
+let tpcc_local_when_no_remote_prop =
+  QCheck.Test.make ~name:"tpcc_system: remote_prob=0 => single-site txns"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys =
+        Gentx.tpcc_system st ~warehouses:3 ~txns:4 ~theta:1.0 ~remote_prob:0.0
+      in
+      let db = System.db sys in
+      Array.for_all
+        (fun t ->
+          match Transaction.entities t with
+          | [] -> false
+          | e :: rest ->
+              List.for_all (fun e' -> Db.same_site db e e') rest)
+        (System.txns sys))
+
+(* 3. ... and with remote_prob = 1 every new-order spans >= 2 sites. *)
+let tpcc_remote_spans_sites_prop =
+  QCheck.Test.make ~name:"tpcc_system: remote_prob=1 => cross-site new-orders"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sys =
+        Gentx.tpcc_system st ~warehouses:2 ~txns:4 ~theta:1.0 ~remote_prob:1.0
+          ~new_order_frac:1.0
+      in
+      let db = System.db sys in
+      Array.for_all
+        (fun t ->
+          let sites =
+            List.sort_uniq compare
+              (List.map (Db.site_of db) (Transaction.entities t))
+          in
+          List.length sites >= 2)
+        (System.txns sys))
+
+(* 4. Seed determinism: same seed, byte-identical systems. *)
+let tpcc_seed_deterministic_prop =
+  QCheck.Test.make ~name:"tpcc_system: seed-deterministic" ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let _, _, a = tpcc_of_seed seed in
+      let _, _, b = tpcc_of_seed seed in
+      source_of a = source_of b)
+
+(* 5. Skew bound: at theta = 1.8 the rank-1 warehouse row is locked at
+   least as often as the rank-6 one across many generated systems (a
+   fixed-seed aggregate, like the zipf test in test_sim). *)
+let test_tpcc_skews_hot_warehouse () =
+  let st = Fixtures.rng 77 in
+  let uses = Array.make 6 0 in
+  for _ = 1 to 80 do
+    let sys = Gentx.tpcc_system st ~warehouses:6 ~txns:3 ~theta:1.8 in
+    let db = System.db sys in
+    Array.iter
+      (fun t ->
+        List.iter
+          (fun e ->
+            let name = Db.entity_name db e in
+            if String.index_opt name '.' = None then
+              (* a bare warehouse row w<i> *)
+              let w = int_of_string (String.sub name 1 (String.length name - 1)) in
+              uses.(w - 1) <- uses.(w - 1) + 1)
+          (Transaction.entities t))
+      (System.txns sys)
+  done;
+  check bool_t
+    (Printf.sprintf "theta=1.8 skews to w1 (%d vs %d)" uses.(0) uses.(5))
+    true
+    (uses.(0) > 3 * uses.(5))
+
+(* 6. Replication coverage: every logical entity has exactly
+   [replication] replicas on pairwise-distinct sites (>= 2 sites when
+   replication >= 2 is requested). *)
+let replicated_coverage_prop =
+  QCheck.Test.make
+    ~name:"replicated_db: every entity on [replication] distinct sites"
+    ~count:80
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sites = 2 + Random.State.int st 4 in
+      let entities = 1 + Random.State.int st 6 in
+      let replication = 2 + Random.State.int st (sites - 1) in
+      let rep = Gentx.replicated_db ~sites ~entities ~replication in
+      let db = rep.Gentx.rep_db in
+      rep.Gentx.logical = entities
+      && Array.for_all
+           (fun replicas ->
+             let s = List.map (Db.site_of db) replicas in
+             List.length replicas = replication
+             && List.length (List.sort_uniq compare s) = replication)
+           rep.Gentx.replicas)
+
+(* 7. Every lock request names an entity its site replicates: each
+   accessed physical entity belongs to the replica set of its logical
+   entity, and per transaction the accesses group into all-replicas
+   (a ROWA write) or exactly one replica (a read). *)
+let replicated_rowa_prop =
+  QCheck.Test.make
+    ~name:"replicated_system: accesses are ROWA writes or one-replica reads"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Fixtures.rng seed in
+      let sites = 2 + Random.State.int st 3 in
+      let entities = 2 + Random.State.int st 4 in
+      let rep = Gentx.replicated_db ~sites ~entities ~replication:2 in
+      let sys =
+        Gentx.replicated_system (Fixtures.rng (seed + 1)) rep
+          ~txns:(1 + Random.State.int st 4)
+          ~entities_per_txn:(1 + Random.State.int st 2)
+      in
+      Array.for_all
+        (fun t ->
+          let by_logical = Hashtbl.create 7 in
+          List.for_all
+            (fun e ->
+              match Gentx.logical_of rep e with
+              | None -> false (* a lock on an entity no site replicates *)
+              | Some l ->
+                  Hashtbl.replace by_logical l
+                    (e :: (try Hashtbl.find by_logical l with Not_found -> []));
+                  List.mem e rep.Gentx.replicas.(l))
+            (Transaction.entities t)
+          && Hashtbl.fold
+               (fun l es acc ->
+                 acc
+                 && (List.length es = 1
+                    || List.sort compare es
+                       = List.sort compare rep.Gentx.replicas.(l)))
+               by_logical true)
+        (System.txns sys))
+
+(* 8. write_prob extremes: 1.0 locks the full replica set of every
+   chosen entity; 0.0 locks exactly one replica per chosen entity. *)
+let replicated_write_prob_extremes_prop =
+  QCheck.Test.make
+    ~name:"replicated_system: write_prob extremes lock all / one replica"
+    ~count:60
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let rep = Gentx.replicated_db ~sites:3 ~entities:4 ~replication:2 in
+      let all =
+        Gentx.replicated_system ~write_prob:1.0 (Fixtures.rng seed) rep
+          ~txns:3 ~entities_per_txn:2
+      in
+      let one =
+        Gentx.replicated_system ~write_prob:0.0 (Fixtures.rng seed) rep
+          ~txns:3 ~entities_per_txn:2
+      in
+      Array.for_all
+        (fun t -> List.length (Transaction.entities t) = 2 * 2)
+        (System.txns all)
+      && Array.for_all
+           (fun t -> List.length (Transaction.entities t) = 2)
+           (System.txns one))
+
+(* 9. Seed determinism for replicated and zipf systems. *)
+let replicated_seed_deterministic_prop =
+  QCheck.Test.make ~name:"replicated_system: seed-deterministic" ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let rep = Gentx.replicated_db ~sites:4 ~entities:5 ~replication:3 in
+      let mk () =
+        Gentx.replicated_system (Fixtures.rng seed) rep ~txns:3
+          ~entities_per_txn:2
+      in
+      source_of (mk ()) = source_of (mk ()))
+
+let zipf_seed_deterministic_prop =
+  QCheck.Test.make ~name:"zipf_system: seed-deterministic" ~count:40
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let mk () =
+        Gentx.zipf_system (Fixtures.rng seed) ~sites:2 ~entities:5 ~txns:3
+          ~theta:1.2
+      in
+      source_of (mk ()) = source_of (mk ()))
+
+(* Parameter validation: bad generator parameters raise Invalid_argument
+   (the CLI turns these into one-line errors + exit 2). *)
+let test_params_validated () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check bool_t "theta < 0" true
+    (raises (fun () ->
+         Gentx.tpcc_system (Fixtures.rng 1) ~warehouses:2 ~txns:2 ~theta:(-1.0)));
+  check bool_t "warehouses < 1" true
+    (raises (fun () -> Gentx.tpcc_db ~warehouses:0 ~districts:1 ~items:1 ~customers:1));
+  check bool_t "items_per_order > items" true
+    (raises (fun () ->
+         Gentx.tpcc_system (Fixtures.rng 1) ~warehouses:2 ~txns:2 ~theta:1.0
+           ~items:2 ~items_per_order:3));
+  check bool_t "new_order_frac > 1" true
+    (raises (fun () ->
+         Gentx.tpcc_system (Fixtures.rng 1) ~warehouses:2 ~txns:2 ~theta:1.0
+           ~new_order_frac:1.5));
+  check bool_t "replication > sites" true
+    (raises (fun () -> Gentx.replicated_db ~sites:2 ~entities:3 ~replication:3));
+  check bool_t "replication < 1" true
+    (raises (fun () -> Gentx.replicated_db ~sites:2 ~entities:3 ~replication:0));
+  check bool_t "entities_per_txn > logical" true
+    (raises (fun () ->
+         let rep = Gentx.replicated_db ~sites:2 ~entities:2 ~replication:1 in
+         Gentx.replicated_system (Fixtures.rng 1) rep ~txns:1
+           ~entities_per_txn:3))
+
+let qtests =
+  List.map Fixtures.to_alcotest
+    [
+      tpcc_well_formed_prop;
+      tpcc_local_when_no_remote_prop;
+      tpcc_remote_spans_sites_prop;
+      tpcc_seed_deterministic_prop;
+      replicated_coverage_prop;
+      replicated_rowa_prop;
+      replicated_write_prob_extremes_prop;
+      replicated_seed_deterministic_prop;
+      zipf_seed_deterministic_prop;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "tpcc skews hot warehouse" `Quick
+      test_tpcc_skews_hot_warehouse;
+    Alcotest.test_case "generator params validated" `Quick
+      test_params_validated;
+  ]
+  @ qtests
